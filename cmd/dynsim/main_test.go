@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestBuildAdversary(t *testing.T) {
+	good := []struct {
+		name string
+		n    int
+	}{
+		{"line", 8}, {"ring", 8}, {"star", 8}, {"complete", 6},
+		{"grid", 16}, {"hypercube", 8}, {"random", 10}, {"bounded", 10},
+		{"rotating", 7}, {"staller", 5}, {"tinterval", 9}, {"dual", 10},
+	}
+	for _, c := range good {
+		adv, err := buildAdversary(c.name, c.n, 3, 1)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if adv == nil {
+			t.Errorf("%s: nil adversary", c.name)
+		}
+	}
+	bad := []struct {
+		name string
+		n    int
+	}{
+		{"nope", 8}, {"grid", 7}, {"hypercube", 9},
+	}
+	for _, c := range bad {
+		if _, err := buildAdversary(c.name, c.n, 3, 1); err == nil {
+			t.Errorf("%s n=%d: accepted", c.name, c.n)
+		}
+	}
+}

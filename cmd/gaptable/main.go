@@ -1,0 +1,68 @@
+// Command gaptable regenerates the headline experiment E4: the cost of
+// CFLOOD (and consensus) with known vs unknown diameter over low-diameter
+// dynamic networks, next to the paper's Ω((N/log N)^¼) lower-bound curve
+// for the unknown case.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyndiam"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gaptable: ")
+
+	var (
+		sizes     = flag.String("sizes", "32,64,128,256,512", "comma-separated node counts")
+		d         = flag.Int("d", 4, "target per-round diameter")
+		seed      = flag.Uint64("seed", 1, "public-coin seed")
+		consensus = flag.Bool("consensus", false, "also run the consensus gap (slower)")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows, err := dyndiam.GapTable(ns, *d, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asCSV {
+		if err := dyndiam.WriteTableCSV(os.Stdout, dyndiam.FormatGapTable(rows)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	dyndiam.FormatGapTable(rows).Fprint(os.Stdout)
+
+	if *consensus {
+		fmt.Println()
+		crows, err := dyndiam.ConsensusGap(ns, *d, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyndiam.FormatConsensusGapTbl(crows).Fprint(os.Stdout)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

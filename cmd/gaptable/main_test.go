@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("8, 16,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseSizes("8,x"); err == nil {
+		t.Error("accepted garbage")
+	}
+}

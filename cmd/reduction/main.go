@@ -1,0 +1,158 @@
+// Command reduction drives the paper's lower-bound machinery:
+//
+//	reduction -figure 1        print the Figure 1 type-Γ schedule
+//	reduction -figure 2        print the Figure 2 centipede cascade
+//	reduction -figure 3        print the Figure 3 mixed-label centipede
+//	reduction -thm 6           run the Theorem 6 (CFLOOD) experiment E1
+//	reduction -thm 7           run the Theorem 7 (CONSENSUS) experiment E2
+//	reduction -diameters       measure composition diameters (O(1) vs Ω(q))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyndiam"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reduction: ")
+
+	var (
+		figure    = flag.Int("figure", 0, "print figure 1, 2, or 3")
+		thm       = flag.Int("thm", 0, "run the theorem 6 or 7 experiment")
+		diameters = flag.Bool("diameters", false, "measure composition diameters")
+		comm      = flag.Bool("comm", false, "communication accounting table (reduction vs trivial vs floor)")
+		spoiled   = flag.Bool("spoiled", false, "spoiled-region growth table for a 0-instance")
+		dot       = flag.Int("dot", -1, "emit Graphviz DOT of the Theorem 6 network at this round")
+		dotParty  = flag.String("dot-party", "reference", "adversary for -dot: reference|alice|bob")
+		qs        = flag.String("q", "17,33,65", "comma-separated q values (odd)")
+		n         = flag.Int("n", 2, "DISJOINTNESSCP string length for theorem 6")
+		seed      = flag.Uint64("seed", 1, "public-coin seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *dot >= 0:
+		qv, err := parseQs(*qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in := dyndiam.RandomDisjZero(*n, qv[0], 1, *seed)
+		net, err := dyndiam.NewCFloodNetwork(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var party dyndiam.Party
+		switch *dotParty {
+		case "reference":
+			party = dyndiam.Reference
+		case "alice":
+			party = dyndiam.Alice
+		case "bob":
+			party = dyndiam.Bob
+		default:
+			log.Fatalf("unknown party %q", *dotParty)
+		}
+		fmt.Print(dyndiam.CFloodDOT(net, party, *dot))
+
+	case *figure != 0:
+		var out string
+		var err error
+		switch *figure {
+		case 1:
+			out, err = dyndiam.Figure1()
+		case 2:
+			out, err = dyndiam.Figure2()
+		case 3:
+			out, err = dyndiam.Figure3()
+		default:
+			log.Fatalf("no figure %d in the paper", *figure)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+
+	case *thm == 6:
+		qv, err := parseQs(*qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := dyndiam.CFloodReductionTable(qv, *n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyndiam.FormatReductionTable(
+			"E1: Theorem 6 reduction: fast oracles err on 0-instances, safe oracles cannot beat the horizon",
+			rows).Fprint(os.Stdout)
+
+	case *thm == 7:
+		qv, err := parseQs(*qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := dyndiam.ConsensusReduction(qv, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyndiam.FormatConsensusRedTbl(rows).Fprint(os.Stdout)
+
+	case *diameters:
+		qv, err := parseQs(*qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := dyndiam.ConstructionDiameters(qv, *n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyndiam.FormatDiameterTable(rows).Fprint(os.Stdout)
+
+	case *spoiled:
+		qv, err := parseQs(*qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := dyndiam.SpoiledGrowth(*n, qv[0], *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyndiam.FormatSpoiledTable(3*qv[0]**n+4, rows).Fprint(os.Stdout)
+
+	case *comm:
+		qv, err := parseQs(*qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := dyndiam.CommTable([]int{*n, 2 * *n, 4 * *n}, qv, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyndiam.FormatCommTable(rows).Fprint(os.Stdout)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseQs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad q %q: %v", part, err)
+		}
+		if v < 3 || v%2 == 0 {
+			return nil, fmt.Errorf("q must be odd and >= 3, got %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

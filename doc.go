@@ -1,0 +1,36 @@
+// Package dyndiam is a library-scale reproduction of "The Cost of Unknown
+// Diameter in Dynamic Networks" (Yu, Zhao, Jahja; SPAA 2016).
+//
+// It provides, under one public API:
+//
+//   - A synchronous dynamic-network simulator faithful to the paper's
+//     model: per-round adversarial connected topologies, the send/receive
+//     CONGEST discipline with enforced O(log N)-bit messages, public
+//     coins, and the causal (dynamic) diameter.
+//   - The distributed protocols around the paper's upper bounds: confirmed
+//     flooding (CFLOOD) with known and unknown diameter, consensus, MAX,
+//     HEAR-FROM-N-NODES, exponential-minima size estimation, one-sided
+//     majority counting, and the Section 7 leader-election protocol that
+//     replaces knowledge of D with an estimate N' of N.
+//   - The paper's lower-bound machinery as executable code: the
+//     DISJOINTNESSCP_{n,q} communication problem with its cycle promise,
+//     the type-Γ/Λ/Υ subnetworks with their three divergent adversaries
+//     and spoiled-node schedules, the composition networks of Theorems 6
+//     and 7, and the two-party Alice/Bob simulation harness with exact bit
+//     accounting and an empirical Lemma 5 referee.
+//   - An experiment harness regenerating every construction figure and
+//     theorem-level claim of the paper (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	adv := dyndiam.RandomConnectedAdversary(64, 32, 1)
+//	inputs := make([]int64, 64)
+//	inputs[0] = 42 // node 0 holds the token
+//	ms := dyndiam.NewMachines(dyndiam.CFlood{}, 64, inputs, 7,
+//		map[string]int64{dyndiam.ExtraDiameter: 63})
+//	eng := &dyndiam.Engine{Machines: ms, Adv: adv, Terminated: dyndiam.NodeDecided(0)}
+//	res, err := eng.Run(1000)
+//
+// The cmd/ binaries (dynsim, gaptable, reduction, leaderelect) and the
+// examples/ programs exercise this API end to end.
+package dyndiam

@@ -1,0 +1,140 @@
+package dyndiam_test
+
+import (
+	"fmt"
+	"log"
+
+	"dyndiam"
+)
+
+// The known-diameter CFLOOD protocol confirms after exactly D rounds on any
+// network whose dynamic diameter respects the bound — here a static line,
+// whose diameter is N-1.
+func ExampleCFlood() {
+	const n = 10
+	inputs := make([]int64, n)
+	inputs[0] = 7 // the token
+
+	ms := dyndiam.NewMachines(dyndiam.CFlood{}, n, inputs, 1,
+		map[string]int64{dyndiam.ExtraDiameter: n - 1})
+	eng := &dyndiam.Engine{
+		Machines:   ms,
+		Adv:        dyndiam.StaticAdversary(dyndiam.Line(n)),
+		Terminated: dyndiam.NodeDecided(0),
+	}
+	res, err := eng.Run(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("confirmed at round %d, all informed: %v\n", res.Rounds, allInformed(ms))
+	// Output: confirmed at round 9, all informed: true
+}
+
+func allInformed(ms []dyndiam.Machine) bool {
+	for _, m := range ms {
+		if !dyndiam.Informed(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// The dynamic diameter is causal, not per-round geometric: a rotating star
+// has static diameter 2 every round but dynamic diameter N-1.
+func ExampleDynamicDiameter() {
+	const n = 8
+	adv := dyndiam.RotatingStarAdversary(n)
+	graphs := make([]*dyndiam.Graph, 40)
+	for r := 1; r <= len(graphs); r++ {
+		graphs[r-1] = adv.Topology(r, make([]dyndiam.Action, n))
+	}
+	d, exact := dyndiam.DynamicDiameter(graphs)
+	fmt.Printf("static diameter each round: %d, dynamic diameter: %d (exact: %v)\n",
+		graphs[0].StaticDiameter(), d, exact)
+	// Output: static diameter each round: 2, dynamic diameter: 7 (exact: true)
+}
+
+// DISJOINTNESSCP instances obey the cycle promise; the Figure 1 example
+// evaluates to 0 because index 4 holds (0, 0).
+func ExampleDisjFromStrings() {
+	in, err := dyndiam.DisjFromStrings("3110", "2200", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=%d q=%d answer=%d\n", in.N, in.Q, in.Eval())
+	// Output: n=4 q=5 answer=0
+}
+
+// The Theorem 6 composition has 3nq+4 nodes regardless of the answer, a
+// diameter gap decided by the answer, and two or three bridging edges.
+func ExampleNewCFloodNetwork() {
+	in := dyndiam.RandomDisjZero(2, 9, 1, 3)
+	net, err := dyndiam.NewCFloodNetwork(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("N=%d horizon=%d bridges=%d\n", net.N, net.Horizon(), len(net.Bridges()))
+	// Output: N=58 horizon=4 bridges=3
+}
+
+// A reduction run reports Alice's claim and the exact bits the parties
+// exchanged; the referee confirms Lemma 5 held.
+func ExampleRunReduction() {
+	in, err := dyndiam.DisjFromStrings("3110", "2200", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := dyndiam.NewCFloodNetwork(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup := dyndiam.CFloodReductionSetup(net, dyndiam.CFlood{}, 9,
+		map[string]int64{dyndiam.ExtraDiameter: 10})
+	res, err := dyndiam.RunReduction(setup, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("claim=%v lemma-violations=%d rounds=%d\n",
+		res.Claim, len(res.LemmaViolations), res.Rounds)
+	// Output: claim=false lemma-violations=0 rounds=2
+}
+
+// Leader election with unknown diameter: only the size estimate N' is
+// needed (Theorem 8).
+func ExampleLeaderElect() {
+	const n = 12
+	ms := dyndiam.NewMachines(dyndiam.LeaderElect{}, n, make([]int64, n), 3,
+		map[string]int64{
+			dyndiam.ExtraNPrime:    11, // ~8% size error
+			dyndiam.ExtraCPermille: 100,
+		})
+	eng := &dyndiam.Engine{Machines: ms, Adv: dyndiam.StaticAdversary(dyndiam.Complete(n))}
+	res, err := eng.Run(1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leader %d elected unanimously: %v\n", res.Outputs[0], allSame(res.Outputs))
+	// Output: leader 11 elected unanimously: true
+}
+
+func allSame(xs []int64) bool {
+	for _, x := range xs {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// The spoiled-region table shows the shrinking-but-sufficient simulable
+// region behind Lemma 5.
+func ExampleSpoiledGrowth() {
+	rows, err := dyndiam.SpoiledGrowth(2, 9, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	fmt.Printf("rounds=%d specials-simulatable=%v\n",
+		last.Round, last.SpecialsSimulatableAlice && last.SpecialsSimulatableBob)
+	// Output: rounds=4 specials-simulatable=true
+}

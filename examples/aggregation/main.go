@@ -1,0 +1,58 @@
+// Aggregation: globally-sensitive functions over a dynamic network with a
+// known diameter bound — the problems the paper lists alongside CFLOOD as
+// solvable in O(log N) flooding rounds when D is known (Section 1).
+//
+// A 36-node sensor mesh computes, concurrently across three runs:
+//   - MAX of its readings (gossip of the running maximum),
+//   - the network size N (exponential-minima counting sketches),
+//   - the SUM of its readings (the weighted Mosk-Aoyama–Shah aggregate).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyndiam"
+)
+
+func main() {
+	const (
+		n    = 36
+		seed = 12
+		d    = 10 // safe dynamic-diameter bound for the mesh below
+	)
+
+	readings := make([]int64, n)
+	var trueMax, trueSum int64
+	for v := range readings {
+		readings[v] = int64((v*v + 17) % 50)
+		if readings[v] > trueMax {
+			trueMax = readings[v]
+		}
+		trueSum += readings[v]
+	}
+
+	run := func(p dyndiam.Protocol, inputs []int64, label string, truth int64) {
+		ms := dyndiam.NewMachines(p, n, inputs, seed,
+			map[string]int64{dyndiam.ExtraDiameter: d, "K": 96})
+		eng := &dyndiam.Engine{
+			Machines: ms,
+			Adv:      dyndiam.BoundedDiameterAdversary(n, 5, n/2, seed),
+		}
+		res, err := eng.Run(10_000_000)
+		if err != nil || !res.Done {
+			log.Fatalf("%s failed: %v", label, err)
+		}
+		fmt.Printf("  %-12s -> %6d   (truth %6d, %6d rounds)\n",
+			label, res.Outputs[0], truth, res.Rounds)
+	}
+
+	fmt.Printf("Aggregates over a %d-node dynamic mesh (known D <= %d):\n\n", n, d)
+	run(dyndiam.Max{}, readings, "MAX", trueMax)
+	run(dyndiam.EstimateN{}, nil, "COUNT (~N)", n)
+	run(dyndiam.SumEstimate{}, readings, "SUM (~)", trueSum)
+	fmt.Println("\nMAX is exact; COUNT and SUM are sketch estimates whose error decays")
+	fmt.Println("as 1/sqrt(k) in the number of sketch copies (here k = 96). Obtaining")
+	fmt.Println("such an N-estimate under *unknown* diameter is itself subject to the")
+	fmt.Println("paper's lower bound — see cmd/reduction.")
+}

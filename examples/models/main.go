@@ -1,0 +1,69 @@
+// Alternative dynamic-network models: the same protocols, unchanged, on the
+// dual-graph model and the T-interval connectivity model the paper names in
+// Section 2 ("all our results and proofs also extend to the dual graph
+// model without any modification").
+//
+// A 32-node network runs known-D confirmed flooding under three models:
+// fully adversarial per-round rewiring, a dual graph (reliable ring +
+// flaky chords), and 5-interval connectivity (a stable backbone persisting
+// for 5-round windows).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyndiam"
+)
+
+func main() {
+	const (
+		n    = 32
+		seed = 4
+	)
+
+	// Dual graph: a reliable ring plus 16 unreliable chords, each alive
+	// with probability 1/2 per round.
+	var chords [][2]int
+	for i := 0; i < 16; i++ {
+		chords = append(chords, [2]int{i, (i + n/2) % n})
+	}
+
+	models := []struct {
+		name string
+		adv  dyndiam.Adversary
+		d    int // safe dynamic-diameter bound under the model
+	}{
+		{"per-round rewiring", dyndiam.BoundedDiameterAdversary(n, 6, n/2, seed), 12},
+		{"dual graph (ring + chords)", dyndiam.DualGraphAdversary(dyndiam.Ring(n), chords, 0.5, seed), n / 2},
+		{"5-interval connectivity", dyndiam.TIntervalAdversary(n, 5, 8, seed), n - 1},
+	}
+
+	fmt.Println("Known-D confirmed flooding under three dynamic-network models:")
+	for _, m := range models {
+		inputs := make([]int64, n)
+		inputs[0] = 1
+		ms := dyndiam.NewMachines(dyndiam.CFlood{}, n, inputs, seed,
+			map[string]int64{dyndiam.ExtraDiameter: int64(m.d)})
+		eng := &dyndiam.Engine{
+			Machines:          ms,
+			Adv:               m.adv,
+			CheckConnectivity: true,
+			Terminated:        dyndiam.NodeDecided(0),
+		}
+		res, err := eng.Run(4 * n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		informed := 0
+		for _, machine := range ms {
+			if dyndiam.Informed(machine) {
+				informed++
+			}
+		}
+		fmt.Printf("  %-28s D-bound %2d: confirmed at round %2d, informed %d/%d\n",
+			m.name, m.d, res.Rounds, informed, n)
+	}
+	fmt.Println("\nThe protocol is byte-for-byte identical in all three runs — only the")
+	fmt.Println("adversary changes, matching the paper's model-robustness claim.")
+}

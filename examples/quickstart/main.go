@@ -1,0 +1,58 @@
+// Quickstart: flood a token through a changing network and confirm receipt.
+//
+// A fleet of 64 sensors forms a different connected mesh every round (links
+// come and go). Node 0 must push a firmware-update token to everyone and
+// confirm completion. With a known bound on the dynamic diameter the
+// confirmation is deterministic and takes exactly D rounds; without one,
+// the only safe bound is N-1 — the cost of unknown diameter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyndiam"
+)
+
+func main() {
+	const (
+		n    = 64
+		seed = 2026
+	)
+
+	// A dynamic network whose per-round topology is a random connected
+	// mesh with static diameter <= 6.
+	diameterBound := 12 // a safe bound on the *dynamic* diameter
+
+	run := func(extra map[string]int64, label string) {
+		inputs := make([]int64, n)
+		inputs[0] = 42 // the token node 0 must disseminate
+
+		machines := dyndiam.NewMachines(dyndiam.CFlood{}, n, inputs, seed, extra)
+		engine := &dyndiam.Engine{
+			Machines:          machines,
+			Adv:               dyndiam.BoundedDiameterAdversary(n, 6, n/2, seed),
+			CheckConnectivity: true,
+			Terminated:        dyndiam.NodeDecided(0), // CFLOOD ends when the source confirms
+		}
+		res, err := engine.Run(4 * n)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		informed := 0
+		for _, m := range machines {
+			if dyndiam.Informed(m) {
+				informed++
+			}
+		}
+		fmt.Printf("%-22s confirmed at round %3d  informed %d/%d  messages %d  bits %d\n",
+			label, res.Rounds, informed, n, res.Messages, res.Bits)
+	}
+
+	fmt.Println("Confirmed flooding (CFLOOD) over a 64-node dynamic mesh:")
+	run(map[string]int64{dyndiam.ExtraDiameter: int64(diameterBound)}, "known diameter (D=12):")
+	run(nil, "unknown diameter:")
+	fmt.Println("\nThe unknown-diameter run pays ~N rounds instead of ~D — the")
+	fmt.Println("poly(N) cost the paper proves unavoidable (Theorem 6).")
+}

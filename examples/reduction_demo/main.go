@@ -1,0 +1,62 @@
+// Reduction demo: Alice and Bob solve a DISJOINTNESSCP instance by jointly
+// simulating a CFLOOD protocol — the paper's Theorem 6 argument, executed.
+//
+// Alice holds x, Bob holds y. They build (conceptually) the type-Γ + type-Λ
+// composition network for (x, y): its diameter is O(1) if
+// DISJOINTNESSCP(x, y) = 1 and Ω(q) if the answer is 0. Each party
+// simulates only its non-spoiled nodes under its own divergent adversary,
+// forwarding just the special nodes' messages. Alice then claims "1" iff
+// the CFLOOD source confirmed within (q-1)/2 rounds.
+//
+// The run also engages the referee, which re-executes the true network and
+// verifies Lemma 5: every non-spoiled node behaved identically in the
+// party simulations and the reference execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyndiam"
+)
+
+func main() {
+	const q = 33 // horizon (q-1)/2 = 16 rounds
+
+	solve := func(in dyndiam.DisjInstance, label string) {
+		net, err := dyndiam.NewCFloodNetwork(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The oracle: a CFLOOD protocol that believes the diameter is
+		// 10 — exactly right on 1-instances, fatally wrong on
+		// 0-instances (which is the point of the theorem).
+		setup := dyndiam.CFloodReductionSetup(net, dyndiam.CFlood{}, 5,
+			map[string]int64{dyndiam.ExtraDiameter: 10})
+		res, err := dyndiam.RunReduction(setup, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		claim := 0
+		if res.Claim {
+			claim = 1
+		}
+		fmt.Printf("%s\n", label)
+		fmt.Printf("  network: N=%d nodes, horizon %d rounds\n", net.N, res.Rounds)
+		fmt.Printf("  Alice claims DISJOINTNESSCP = %d (truth: %d)\n", claim, in.Eval())
+		fmt.Printf("  bits exchanged: Alice->Bob %d, Bob->Alice %d\n",
+			res.BitsAliceToBob, res.BitsBobToAlice)
+		fmt.Printf("  Lemma 5 referee violations: %d\n\n", len(res.LemmaViolations))
+	}
+
+	one := dyndiam.RandomDisjOne(2, q, 1)
+	zero := dyndiam.RandomDisjZero(2, q, 1, 2)
+	fmt.Println("Two-party simulation of a CFLOOD oracle (Theorem 6 reduction):")
+	fmt.Println()
+	solve(one, fmt.Sprintf("1-instance: x=%v y=%v (O(1)-diameter network)", one.X, one.Y))
+	solve(zero, fmt.Sprintf("0-instance: x=%v y=%v (Ω(q)-diameter network)", zero.X, zero.Y))
+	fmt.Println("On the 0-instance the oracle confirmed while the Γ-line was still")
+	fmt.Println("uninformed — any CFLOOD protocol fast enough to beat the horizon must")
+	fmt.Println("err, which is how the Ω((N/log N)^1/4) lower bound follows from the")
+	fmt.Println("DISJOINTNESSCP communication bound.")
+}

@@ -1,0 +1,71 @@
+// Vehicular network: the motivating scenario for dynamic-network theory.
+//
+// 48 vehicles drift through a region, forming a fresh radio topology every
+// round (a random geometric graph, patched to stay connected as the model
+// requires). A roadside unit (node 0) must disseminate a hazard alert and
+// *confirm* delivery to all vehicles — CFLOOD. We compare three operating
+// points:
+//
+//  1. The fleet operator knows a diameter bound from radio planning
+//     ("any alert reaches everyone within 15 hops of causal influence").
+//  2. Nothing is known: the safe fallback D := N-1.
+//  3. The operator does not know D but knows the approximate fleet size —
+//     and elects a coordinator with the paper's Section 7 protocol, all
+//     without any diameter knowledge.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyndiam"
+)
+
+func main() {
+	const (
+		n    = 48
+		seed = 2016 // SPAA '16
+	)
+	mk := func() dyndiam.Adversary { return dyndiam.MobileAdversary(n, 0.22, 0.03, seed) }
+
+	confirm := func(extra map[string]int64, label string) {
+		inputs := make([]int64, n)
+		inputs[0] = 1
+		ms := dyndiam.NewMachines(dyndiam.CFlood{}, n, inputs, seed, extra)
+		eng := &dyndiam.Engine{Machines: ms, Adv: mk(), CheckConnectivity: true,
+			Terminated: dyndiam.NodeDecided(0)}
+		res, err := eng.Run(4 * n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		informed := 0
+		for _, m := range ms {
+			if dyndiam.Informed(m) {
+				informed++
+			}
+		}
+		fmt.Printf("  %-26s confirmed at round %2d  (alert delivered to %d/%d)\n",
+			label, res.Rounds, informed, n)
+	}
+
+	fmt.Printf("Hazard-alert dissemination across %d drifting vehicles:\n\n", n)
+	confirm(map[string]int64{dyndiam.ExtraDiameter: 15}, "diameter bound known (15):")
+	confirm(nil, "nothing known (D := N-1):")
+
+	// Coordinator election with only a fleet-size estimate.
+	ms := dyndiam.NewMachines(dyndiam.LeaderElect{}, n, make([]int64, n), seed,
+		map[string]int64{
+			dyndiam.ExtraNPrime:    int64(9 * n / 10), // manifest says "about 43 vehicles"
+			dyndiam.ExtraCPermille: 100,
+		})
+	eng := &dyndiam.Engine{Machines: ms, Adv: mk()}
+	res, err := eng.Run(10_000_000)
+	if err != nil || !res.Done {
+		log.Fatalf("coordinator election failed: %v", err)
+	}
+	fmt.Printf("\nCoordinator election (no diameter knowledge, fleet size ±10%%):\n")
+	fmt.Printf("  vehicle %d elected by all in %d rounds\n", res.Outputs[0], res.Rounds)
+	fmt.Println("\nKnowing D (or a good fleet-size estimate) is what keeps the round")
+	fmt.Println("counts diameter-scaled; with neither, Theorem 6/7 say poly(N) rounds")
+	fmt.Println("are unavoidable for confirmation-style tasks.")
+}

@@ -1,0 +1,3 @@
+module dyndiam
+
+go 1.22

@@ -1,0 +1,108 @@
+package adversaries
+
+import (
+	"testing"
+
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+)
+
+func collect(t *testing.T, adv dynet.Adversary, n, rounds int) []*graph.Graph {
+	t.Helper()
+	actions := make([]dynet.Action, n)
+	out := make([]*graph.Graph, rounds)
+	for r := 1; r <= rounds; r++ {
+		g := adv.Topology(r, actions)
+		if g.N() != n {
+			t.Fatalf("round %d: %d vertices, want %d", r, g.N(), n)
+		}
+		if !g.Connected() {
+			t.Fatalf("round %d: disconnected topology", r)
+		}
+		out[r-1] = g
+	}
+	return out
+}
+
+func TestRandomConnectedAlwaysConnected(t *testing.T) {
+	collect(t, RandomConnected(30, 10, 1), 30, 50)
+}
+
+func TestBoundedDiameterRespectsBound(t *testing.T) {
+	graphs := collect(t, BoundedDiameter(40, 6, 10, 2), 40, 30)
+	for r, g := range graphs {
+		if d := g.StaticDiameter(); d > 6 {
+			t.Errorf("round %d: static diameter %d > 6", r+1, d)
+		}
+	}
+}
+
+func TestRotatingStarDynamicDiameter(t *testing.T) {
+	const n = 10
+	graphs := collect(t, RotatingStar(n), n, 5*n)
+	d, exact := dynet.DynamicDiameter(graphs)
+	if !exact || d != n-1 {
+		t.Errorf("rotating star: dynamic diameter %d (exact %v), want %d", d, exact, n-1)
+	}
+	for r, g := range graphs {
+		if g.StaticDiameter() != 2 {
+			t.Errorf("round %d: static diameter %d, want 2", r+1, g.StaticDiameter())
+		}
+	}
+}
+
+func TestChurnKeepsSpanningTree(t *testing.T) {
+	c := NewChurn(25, 15, 3, 4)
+	graphs := collect(t, c, 25, 40)
+	// The tree edges persist; edge sets still change over time.
+	changed := false
+	for r := 1; r < len(graphs); r++ {
+		if graphs[r].M() != graphs[r-1].M() {
+			changed = true
+		} else {
+			for _, e := range graphs[r-1].Edges() {
+				if !graphs[r].HasEdge(e[0], e[1]) {
+					changed = true
+				}
+			}
+		}
+	}
+	if !changed {
+		t.Error("churn adversary never changed the topology")
+	}
+}
+
+func TestStallerBookkeeping(t *testing.T) {
+	const n = 8
+	s := NewStaller(n, 0)
+	// All nodes receive: gate exists (node 0), nothing crosses.
+	actions := make([]dynet.Action, n)
+	g := s.Topology(1, actions)
+	if !g.Connected() {
+		t.Fatal("staller produced disconnected graph")
+	}
+	count := 0
+	for _, inf := range s.informed {
+		if inf {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("informed %d nodes while gated, want 1", count)
+	}
+	// Node 0 sends and its attached uninformed neighbor receives: concede.
+	actions[0] = dynet.Send
+	g = s.Topology(2, actions)
+	if !g.Connected() {
+		t.Fatal("disconnected after concession round")
+	}
+	count = 0
+	for _, inf := range s.informed {
+		if inf {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("informed %d nodes after forced concession, want 2", count)
+	}
+}

@@ -1,0 +1,107 @@
+package adversaries
+
+import (
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/rng"
+)
+
+// This file implements the two alternative dynamic-network models the paper
+// names (Section 2): the dual graph model of Kuhn/Lynch/Newport/Ghaffari
+// [9, 13] and the T-interval connectivity model of Kuhn/Lynch/Oshman [14].
+// The paper notes its results extend to both "without any modification";
+// here they are adversary families the same protocols run on unchanged.
+
+// Dual is the dual-graph model: a fixed pair (G, G') with G ⊆ G'. The
+// reliable edges of G appear in every round; each unreliable edge of
+// G' \ G appears in a round iff the chooser says so. With a connected
+// reliable graph, every round's topology is connected by construction.
+type Dual struct {
+	reliable   *graph.Graph
+	unreliable [][2]int
+	// Chooser decides, per round, which unreliable edges appear.
+	// present has one entry per unreliable edge; the chooser may
+	// inspect the round's committed actions (the model allows an
+	// adaptive choice).
+	Chooser func(r int, actions []dynet.Action, present []bool)
+
+	scratch []bool
+}
+
+// NewDual builds a dual-graph adversary. The reliable graph should be
+// connected; unreliable edges are given as vertex pairs.
+func NewDual(reliable *graph.Graph, unreliable [][2]int, chooser func(r int, actions []dynet.Action, present []bool)) *Dual {
+	return &Dual{
+		reliable:   reliable,
+		unreliable: unreliable,
+		Chooser:    chooser,
+		scratch:    make([]bool, len(unreliable)),
+	}
+}
+
+// NewRandomDual returns a dual-graph adversary whose unreliable edges each
+// appear independently with probability p every round.
+func NewRandomDual(reliable *graph.Graph, unreliable [][2]int, p float64, seed uint64) *Dual {
+	src := rng.New(seed)
+	return NewDual(reliable, unreliable, func(r int, _ []dynet.Action, present []bool) {
+		round := src.Split(uint64(r))
+		for i := range present {
+			present[i] = round.Prob(p)
+		}
+	})
+}
+
+// Topology implements dynet.Adversary.
+func (d *Dual) Topology(r int, actions []dynet.Action) *graph.Graph {
+	for i := range d.scratch {
+		d.scratch[i] = false
+	}
+	if d.Chooser != nil {
+		d.Chooser(r, actions, d.scratch)
+	}
+	g := d.reliable.Clone()
+	for i, e := range d.unreliable {
+		if d.scratch[i] {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	return g
+}
+
+// TInterval is the T-interval connectivity model: within each window of T
+// consecutive rounds a stable connected spanning subgraph persists, while
+// the remaining edges are re-randomized every round. (T = 1 degenerates to
+// a fresh random connected graph per round.)
+type TInterval struct {
+	n, t, extra int
+	src         *rng.Source
+	stable      *graph.Graph
+	window      int
+}
+
+// NewTInterval builds a T-interval adversary over n nodes with the given
+// interval length and per-round extra random edges.
+func NewTInterval(n, t, extra int, seed uint64) *TInterval {
+	if t < 1 {
+		t = 1
+	}
+	return &TInterval{n: n, t: t, extra: extra, src: rng.New(seed), window: -1}
+}
+
+// Topology implements dynet.Adversary.
+func (a *TInterval) Topology(r int, _ []dynet.Action) *graph.Graph {
+	w := (r - 1) / a.t
+	if w != a.window {
+		a.window = w
+		a.stable = graph.RandomConnected(a.n, 0, a.src.Split('s', uint64(w)))
+	}
+	g := a.stable.Clone()
+	round := a.src.Split('e', uint64(r))
+	for i := 0; i < a.extra; i++ {
+		u, v := round.Intn(a.n), round.Intn(a.n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}

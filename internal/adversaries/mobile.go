@@ -1,0 +1,129 @@
+package adversaries
+
+import (
+	"math"
+
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/rng"
+)
+
+// Mobile models the mobile ad-hoc networks that motivate dynamic-network
+// theory: nodes drift through the unit square and connect to every node
+// within a communication radius (a random geometric graph per round). The
+// model requires per-round connectivity, so if the disk graph fragments,
+// the components are patched together with one backbone edge per extra
+// component — the "cellular uplink" a real deployment falls back on.
+type Mobile struct {
+	n      int
+	radius float64
+	speed  float64
+	src    *rng.Source
+	x, y   []float64
+	// Patches counts backbone edges added so far (observability for
+	// tests and experiments: how often the disk graph fragmented).
+	Patches int
+}
+
+// NewMobile places n nodes uniformly in the unit square. radius is the
+// connection range; speed is the per-round drift magnitude.
+func NewMobile(n int, radius, speed float64, seed uint64) *Mobile {
+	m := &Mobile{
+		n: n, radius: radius, speed: speed,
+		src: rng.New(seed),
+		x:   make([]float64, n),
+		y:   make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		m.x[v] = m.src.Float64()
+		m.y[v] = m.src.Float64()
+	}
+	return m
+}
+
+// Topology implements dynet.Adversary: drift positions, build the disk
+// graph, patch connectivity.
+func (m *Mobile) Topology(r int, _ []dynet.Action) *graph.Graph {
+	for v := 0; v < m.n; v++ {
+		angle := 2 * math.Pi * m.src.Float64()
+		m.x[v] = clamp01(m.x[v] + m.speed*math.Cos(angle))
+		m.y[v] = clamp01(m.y[v] + m.speed*math.Sin(angle))
+	}
+	g := graph.New(m.n)
+	r2 := m.radius * m.radius
+	for u := 0; u < m.n; u++ {
+		for v := u + 1; v < m.n; v++ {
+			dx, dy := m.x[u]-m.x[v], m.y[u]-m.y[v]
+			if dx*dx+dy*dy <= r2 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	m.patch(g)
+	return g
+}
+
+// patch joins disconnected components with backbone edges (nearest pairs
+// across components, greedily).
+func (m *Mobile) patch(g *graph.Graph) {
+	comp := components(g)
+	for len(comp) > 1 {
+		// Join component 0 to its geometrically nearest other
+		// component via the closest node pair.
+		bestU, bestV, bestD := -1, -1, math.MaxFloat64
+		bestComp := -1
+		for ci := 1; ci < len(comp); ci++ {
+			for _, u := range comp[0] {
+				for _, v := range comp[ci] {
+					dx, dy := m.x[u]-m.x[v], m.y[u]-m.y[v]
+					d := dx*dx + dy*dy
+					if d < bestD {
+						bestU, bestV, bestD, bestComp = u, v, d, ci
+					}
+				}
+			}
+		}
+		g.AddEdge(bestU, bestV)
+		m.Patches++
+		comp[0] = append(comp[0], comp[bestComp]...)
+		comp = append(comp[:bestComp], comp[bestComp+1:]...)
+	}
+}
+
+// components returns the connected components of g as vertex lists.
+func components(g *graph.Graph) [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var out [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			g.ForEachNeighbor(v, func(u int) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			})
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	if v > 1 {
+		return 2 - v
+	}
+	return v
+}

@@ -1,0 +1,188 @@
+package bitio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBitRoundTrip(t *testing.T) {
+	var w Writer
+	pattern := []bool{true, false, true, true, false, false, true, false, true}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit[%d]: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrOverflow {
+		t.Errorf("read past end: err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestWriteUintWidths(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width int
+	}{
+		{0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9},
+		{math.MaxUint32, 32}, {math.MaxUint64, 64}, {0, 64},
+	}
+	var w Writer
+	for _, c := range cases {
+		w.WriteUint(c.v, c.width)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, c := range cases {
+		got, err := r.ReadUint(c.width)
+		if err != nil {
+			t.Fatalf("ReadUint(%d): %v", c.width, err)
+		}
+		if got != c.v {
+			t.Errorf("ReadUint(%d) = %d, want %d", c.width, got, c.v)
+		}
+	}
+}
+
+func TestWriteUintPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteUint(8, 3) did not panic")
+		}
+	}()
+	var w Writer
+	w.WriteUint(8, 3)
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var w Writer
+		w.WriteUvarint(v)
+		if w.Len() != UvarintLen(v) {
+			t.Logf("UvarintLen(%d) = %d, wrote %d", v, UvarintLen(v), w.Len())
+			return false
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		got, err := r.ReadUvarint()
+		return err == nil && got == v && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintSmallValuesAreSmall(t *testing.T) {
+	for v := uint64(0); v < 16; v++ {
+		if got := UvarintLen(v); got != 5 {
+			t.Errorf("UvarintLen(%d) = %d, want 5", v, got)
+		}
+	}
+	if got := UvarintLen(16); got != 10 {
+		t.Errorf("UvarintLen(16) = %d, want 10", got)
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.n); got != c.want {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestWidthForCoversRange(t *testing.T) {
+	// Property: every value in [0, n) fits in WidthFor(n) bits.
+	f := func(n uint16) bool {
+		w := WidthFor(int(n))
+		if n == 0 {
+			return w == 1
+		}
+		max := uint64(n) - 1
+		return max < 1<<uint(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedEncodingRoundTrip(t *testing.T) {
+	f := func(a uint64, b bool, c uint32, d uint8) bool {
+		var w Writer
+		w.WriteUvarint(a)
+		w.WriteBool(b)
+		w.WriteUint(uint64(c), 32)
+		w.WriteUint(uint64(d)&0x7, 3)
+		r := NewReader(w.Bytes(), w.Len())
+		ga, err1 := r.ReadUvarint()
+		gb, err2 := r.ReadBool()
+		gc, err3 := r.ReadUint(32)
+		gd, err4 := r.ReadUint(3)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return ga == a && gb == b && gc == uint64(c) && gd == uint64(d)&0x7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteUint(0xFF, 8)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", w.Len())
+	}
+	w.WriteUint(0x5, 3)
+	r := NewReader(w.Bytes(), w.Len())
+	v, err := r.ReadUint(3)
+	if err != nil || v != 5 {
+		t.Fatalf("after reset: got %d, %v; want 5, nil", v, err)
+	}
+}
+
+func TestReadUintInvalidWidth(t *testing.T) {
+	r := NewReader(nil, 0)
+	if _, err := r.ReadUint(65); err == nil {
+		t.Error("ReadUint(65) succeeded, want error")
+	}
+	if _, err := r.ReadUint(-1); err == nil {
+		t.Error("ReadUint(-1) succeeded, want error")
+	}
+}
+
+func BenchmarkWriteUvarint(b *testing.B) {
+	var w Writer
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.WriteUvarint(uint64(i))
+	}
+}
+
+func BenchmarkReadUvarint(b *testing.B) {
+	var w Writer
+	w.WriteUvarint(123456789)
+	buf, n := w.Bytes(), w.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf, n)
+		if _, err := r.ReadUvarint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

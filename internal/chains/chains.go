@@ -1,0 +1,222 @@
+// Package chains implements the label algebra and edge-removal rules shared
+// by the paper's type-Γ and type-Λ subnetworks (Sections 4 and 5).
+//
+// A chain is three nodes U (top), V (middle), W (bottom) with a top edge
+// (U, V) and a bottom edge (V, W). The chain carries a top label and a
+// bottom label from [0, q-1]; the paper writes |ᵃ_b for top label a and
+// bottom label b. Under the cycle promise the only label pairs that occur
+// are b = a±1, (0, 0), (a, a) with a even (type-Λ saturation ladder), and
+// (q-1, q-1).
+//
+// Three adversaries manipulate a chain's two edges over time:
+//
+//	Reference — knows both labels (both x and y); implements the paper's
+//	   rules 1-5. Rules 3 and 4 depend on whether the middle node receives
+//	   in round t+1, which the adversary may inspect (coins precede
+//	   topology within a round).
+//	Alice — knows only top labels: removes the top edge of |²ᵗ_* chains at
+//	   round t+1 and the bottom edge of |²ᵗ⁺¹_* chains at round t+2.
+//	Bob — symmetric, from bottom labels.
+//
+// The same label algebra yields the spoiled-node schedule of the lower-bound
+// proofs: for Alice, a |²ᵗ_* chain spoils V and W from round t+1 and a
+// |²ᵗ⁺¹_* chain spoils W from round t+1 (and symmetrically for Bob from
+// bottom labels). Package subnet composes these chains into the actual
+// subnetworks.
+package chains
+
+import "fmt"
+
+// Party identifies whose adversary (or whose spoiled-set) is being queried.
+type Party int
+
+const (
+	// Reference is the real adversary, a function of both x and y.
+	Reference Party = iota
+	// Alice simulates an adversary from x (top labels) alone.
+	Alice
+	// Bob simulates an adversary from y (bottom labels) alone.
+	Bob
+)
+
+// String implements fmt.Stringer.
+func (p Party) String() string {
+	switch p {
+	case Reference:
+		return "reference"
+	case Alice:
+		return "alice"
+	case Bob:
+		return "bob"
+	}
+	return fmt.Sprintf("party(%d)", int(p))
+}
+
+// Chain is one labeled 3-node chain.
+type Chain struct {
+	Top    int // label of U
+	Bottom int // label of W
+	Q      int // alphabet size (odd)
+}
+
+// Never is a round number beyond any simulation horizon, used for "edge is
+// never removed / node is never spoiled" within the relevant window.
+const Never = 1 << 30
+
+// removalRounds returns the first round at whose beginning each edge is
+// absent under the reference adversary, ignoring the middle-action
+// dependence of rules 3 and 4: for those rules it returns the *latest*
+// removal round t+2 and sets condTop/condBottom, meaning "also removed in
+// round t+1 itself if the middle node sends in round t+1".
+func (c Chain) removalRounds() (top, bottom int, condTop, condBottom bool) {
+	a, b := c.Top, c.Bottom
+	top, bottom = Never, Never
+	switch {
+	case a == b && a == c.Q-1:
+		// |^(q-1)_(q-1): untouched (paper, end of Section 4).
+	case a == b && a%2 == 0:
+		// Rule 5 (type-Γ, a = 0) and rule 5' (type-Λ, a = 2t):
+		// both edges removed at the beginning of round t+1.
+		t := a / 2
+		top, bottom = t+1, t+1
+	case b == a-1 && a%2 == 0:
+		// Rule 1: |^2t_(2t-1): top edge removed at round t+1.
+		top = a/2 + 1
+	case b == a+1 && a%2 == 1:
+		// Rule 2: |^(2t-1)_2t: bottom edge removed at round t+1.
+		bottom = (a+1)/2 + 1
+	case b == a+1 && a%2 == 0:
+		// Rule 3: |^2t_(2t+1): top edge removed at round t+2 if the
+		// middle node receives in round t+1, else at round t+1.
+		top = a/2 + 2
+		condTop = true
+	case b == a-1 && a%2 == 1:
+		// Rule 4: |^(2t+1)_2t: bottom edge removed at round t+2 if
+		// the middle node receives in round t+1, else at round t+1.
+		bottom = (a-1)/2 + 2
+		condBottom = true
+	default:
+		panic(fmt.Sprintf("chains: label pair (%d, %d) violates the cycle promise", a, b))
+	}
+	return top, bottom, condTop, condBottom
+}
+
+// MidActionRound returns the round whose middle-node action rules 3/4
+// consult, and whether the chain is governed by such a rule at all.
+func (c Chain) MidActionRound() (round int, conditional bool) {
+	top, bottom, condTop, condBottom := c.removalRounds()
+	if condTop {
+		return top - 1, true
+	}
+	if condBottom {
+		return bottom - 1, true
+	}
+	_ = top
+	_ = bottom
+	return 0, false
+}
+
+// TopEdgePresent reports whether the chain's top edge exists in round r
+// (r >= 0; round 0 is the initial topology) under the given party's
+// adversary. midReceives tells whether the chain's middle node receives in
+// the round that rules 3/4 consult (see MidActionRound); it is ignored by
+// Alice's and Bob's adversaries and by unconditional rules.
+func (c Chain) TopEdgePresent(p Party, r int, midReceives bool) bool {
+	switch p {
+	case Alice:
+		// |^2t_*: top removed at round t+1. Odd-top chains keep it.
+		if c.Top%2 == 0 {
+			return r < c.Top/2+1
+		}
+		return true
+	case Bob:
+		// |^*_(2t+1): top removed at round t+2.
+		if c.Bottom%2 == 1 {
+			return r < (c.Bottom-1)/2+2
+		}
+		return true
+	}
+	top, _, condTop, _ := c.removalRounds()
+	if top == Never {
+		return true
+	}
+	if condTop {
+		if r >= top { // t+2 and later: removed regardless
+			return false
+		}
+		if r == top-1 { // round t+1: removed only if mid sends
+			return midReceives
+		}
+		return true
+	}
+	return r < top
+}
+
+// BottomEdgePresent is the bottom-edge analog of TopEdgePresent.
+func (c Chain) BottomEdgePresent(p Party, r int, midReceives bool) bool {
+	switch p {
+	case Alice:
+		// |^(2t+1)_*: bottom removed at round t+2.
+		if c.Top%2 == 1 {
+			return r < (c.Top-1)/2+2
+		}
+		return true
+	case Bob:
+		// |^*_2t: bottom removed at round t+1.
+		if c.Bottom%2 == 0 {
+			return r < c.Bottom/2+1
+		}
+		return true
+	}
+	_, bottom, _, condBottom := c.removalRounds()
+	if bottom == Never {
+		return true
+	}
+	if condBottom {
+		if r >= bottom {
+			return false
+		}
+		if r == bottom-1 {
+			return midReceives
+		}
+		return true
+	}
+	return r < bottom
+}
+
+// SpoiledFrom returns the first round from whose beginning each of the
+// chain's three nodes is spoiled for the given party (Never if the node
+// stays non-spoiled within any horizon). The special nodes A and B are
+// handled by package subnet, not here.
+//
+// For Alice (Section 4): |^2t_* spoils V and W from round t+1; |^(2t+1)_*
+// spoils W from round t+1. For Bob, symmetrically from bottom labels:
+// |^*_2t spoils V and U from round t+1; |^*_(2t+1) spoils U from round t+1.
+func (c Chain) SpoiledFrom(p Party) (u, v, w int) {
+	u, v, w = Never, Never, Never
+	switch p {
+	case Alice:
+		if c.Top%2 == 0 {
+			v = c.Top/2 + 1
+			w = c.Top/2 + 1
+		} else {
+			w = (c.Top-1)/2 + 1
+		}
+	case Bob:
+		if c.Bottom%2 == 0 {
+			v = c.Bottom/2 + 1
+			u = c.Bottom/2 + 1
+		} else {
+			u = (c.Bottom-1)/2 + 1
+		}
+	case Reference:
+		// The reference execution is fully known; no node is spoiled.
+	}
+	return u, v, w
+}
+
+// IsZeroZero reports whether this is a |⁰₀ chain (a DISJOINTNESSCP witness).
+func (c Chain) IsZeroZero() bool { return c.Top == 0 && c.Bottom == 0 }
+
+// String renders the paper's |ᵃ_b notation.
+func (c Chain) String() string { return fmt.Sprintf("|%d_%d", c.Top, c.Bottom) }

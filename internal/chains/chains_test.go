@@ -1,0 +1,301 @@
+package chains
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// present is a helper tuple for schedule assertions.
+type present struct {
+	top, bottom bool
+}
+
+func edgesAt(c Chain, p Party, r int, midReceives bool) present {
+	return present{
+		top:    c.TopEdgePresent(p, r, midReceives),
+		bottom: c.BottomEdgePresent(p, r, midReceives),
+	}
+}
+
+func TestRule1Schedule(t *testing.T) {
+	// |^2t_(2t-1): reference removes the top edge at round t+1.
+	c := Chain{Top: 4, Bottom: 3, Q: 9} // t = 2
+	for r := 0; r <= 2; r++ {
+		if got := edgesAt(c, Reference, r, true); got != (present{true, true}) {
+			t.Errorf("round %d: %+v, want both present", r, got)
+		}
+	}
+	for r := 3; r <= 6; r++ {
+		if got := edgesAt(c, Reference, r, true); got != (present{false, true}) {
+			t.Errorf("round %d: %+v, want top removed", r, got)
+		}
+	}
+}
+
+func TestRule2Schedule(t *testing.T) {
+	// |^(2t-1)_2t: reference removes the bottom edge at round t+1.
+	c := Chain{Top: 3, Bottom: 4, Q: 9} // t = 2
+	for r := 0; r <= 2; r++ {
+		if got := edgesAt(c, Reference, r, true); got != (present{true, true}) {
+			t.Errorf("round %d: %+v, want both present", r, got)
+		}
+	}
+	if got := edgesAt(c, Reference, 3, true); got != (present{true, false}) {
+		t.Errorf("round 3: %+v, want bottom removed", got)
+	}
+}
+
+func TestRule3ConditionalOnMiddleAction(t *testing.T) {
+	// |^2t_(2t+1): top edge removed at round t+2 if the middle receives
+	// in round t+1, else at round t+1.
+	c := Chain{Top: 4, Bottom: 5, Q: 9} // t = 2
+	round, cond := c.MidActionRound()
+	if !cond || round != 3 {
+		t.Fatalf("MidActionRound = %d, %v; want 3, true", round, cond)
+	}
+	// Middle receiving in round 3: edge still present in round 3, gone in 4.
+	if !c.TopEdgePresent(Reference, 3, true) {
+		t.Error("mid receiving: top edge should survive round t+1")
+	}
+	if c.TopEdgePresent(Reference, 4, true) {
+		t.Error("top edge should be gone by round t+2")
+	}
+	// Middle sending in round 3: edge removed already in round 3.
+	if c.TopEdgePresent(Reference, 3, false) {
+		t.Error("mid sending: top edge should be removed in round t+1")
+	}
+	// Bottom edge untouched either way.
+	for r := 0; r <= 6; r++ {
+		if !c.BottomEdgePresent(Reference, r, false) {
+			t.Errorf("round %d: bottom edge should never be removed", r)
+		}
+	}
+}
+
+func TestRule4ConditionalOnMiddleAction(t *testing.T) {
+	// |^(2t+1)_2t: bottom edge removed at round t+2 / t+1 by middle action.
+	c := Chain{Top: 5, Bottom: 4, Q: 9} // t = 2
+	round, cond := c.MidActionRound()
+	if !cond || round != 3 {
+		t.Fatalf("MidActionRound = %d, %v; want 3, true", round, cond)
+	}
+	if !c.BottomEdgePresent(Reference, 3, true) {
+		t.Error("mid receiving: bottom edge should survive round t+1")
+	}
+	if c.BottomEdgePresent(Reference, 4, true) {
+		t.Error("bottom edge should be gone by round t+2")
+	}
+	if c.BottomEdgePresent(Reference, 3, false) {
+		t.Error("mid sending: bottom edge should be removed in round t+1")
+	}
+}
+
+func TestRule5ZeroZero(t *testing.T) {
+	// |⁰₀: both edges removed at the beginning of round 1.
+	c := Chain{Top: 0, Bottom: 0, Q: 5}
+	if !c.IsZeroZero() {
+		t.Fatal("IsZeroZero = false")
+	}
+	if got := edgesAt(c, Reference, 0, true); got != (present{true, true}) {
+		t.Errorf("round 0: %+v, want both present", got)
+	}
+	if got := edgesAt(c, Reference, 1, true); got != (present{false, false}) {
+		t.Errorf("round 1: %+v, want both removed", got)
+	}
+}
+
+func TestRule5PrimeLambdaCascade(t *testing.T) {
+	// Type-Λ |^2t_2t chains: both edges removed at round t+1 — the
+	// cascading schedule of Figure 2 (q = 7, x_i = y_i = 0 gives chains
+	// labeled (0,0), (2,2), (4,4), (6,6)).
+	q := 7
+	for j, wantRemoval := range map[int]int{0: 1, 2: 2, 4: 3} {
+		c := Chain{Top: j, Bottom: j, Q: q}
+		if c.TopEdgePresent(Reference, wantRemoval, true) ||
+			c.BottomEdgePresent(Reference, wantRemoval, true) {
+			t.Errorf("|%d_%d: edges present at round %d, want removed", j, j, wantRemoval)
+		}
+		if !c.TopEdgePresent(Reference, wantRemoval-1, true) ||
+			!c.BottomEdgePresent(Reference, wantRemoval-1, true) {
+			t.Errorf("|%d_%d: edges missing at round %d, want present", j, j, wantRemoval-1)
+		}
+	}
+	// |^(q-1)_(q-1) is never manipulated.
+	last := Chain{Top: q - 1, Bottom: q - 1, Q: q}
+	for r := 0; r < 20; r++ {
+		if got := edgesAt(last, Reference, r, false); got != (present{true, true}) {
+			t.Fatalf("|^(q-1)_(q-1) manipulated at round %d", r)
+		}
+	}
+}
+
+func TestAliceAdversarySchedule(t *testing.T) {
+	// Alice sees only top labels: |^2t_* loses its top edge at t+1,
+	// |^(2t+1)_* loses its bottom edge at t+2.
+	even := Chain{Top: 4, Bottom: 3, Q: 9}
+	if !even.TopEdgePresent(Alice, 2, false) || even.TopEdgePresent(Alice, 3, false) {
+		t.Error("Alice: |^4_* top edge should be removed exactly at round 3")
+	}
+	if !even.BottomEdgePresent(Alice, 100, false) {
+		t.Error("Alice: even-top chain bottom edge must never be removed by Alice")
+	}
+	odd := Chain{Top: 5, Bottom: 4, Q: 9}
+	if !odd.BottomEdgePresent(Alice, 3, false) || odd.BottomEdgePresent(Alice, 4, false) {
+		t.Error("Alice: |^5_* bottom edge should be removed exactly at round 4")
+	}
+	if !odd.TopEdgePresent(Alice, 100, false) {
+		t.Error("Alice: odd-top chain top edge must never be removed by Alice")
+	}
+}
+
+func TestBobAdversarySchedule(t *testing.T) {
+	even := Chain{Top: 3, Bottom: 4, Q: 9}
+	if !even.BottomEdgePresent(Bob, 2, false) || even.BottomEdgePresent(Bob, 3, false) {
+		t.Error("Bob: |^*_4 bottom edge should be removed exactly at round 3")
+	}
+	odd := Chain{Top: 4, Bottom: 5, Q: 9}
+	if !odd.TopEdgePresent(Bob, 3, false) || odd.TopEdgePresent(Bob, 4, false) {
+		t.Error("Bob: |^*_5 top edge should be removed exactly at round 4")
+	}
+}
+
+func TestAliceUntouchedNearQ(t *testing.T) {
+	// "Alice's adversary will not have removed any edges from |^(q-1)_*
+	// and |^(q-2)_* chains by the end of the simulation" (round (q-1)/2).
+	q := 9
+	horizon := (q - 1) / 2
+	for _, top := range []int{q - 1, q - 2} {
+		bottom := top - 1
+		if top == q-1 {
+			bottom = q - 1
+		}
+		c := Chain{Top: top, Bottom: bottom, Q: q}
+		for r := 0; r <= horizon; r++ {
+			if !c.TopEdgePresent(Alice, r, false) || !c.BottomEdgePresent(Alice, r, false) {
+				t.Errorf("Alice removed an edge of |^%d chain at round %d <= horizon", top, r)
+			}
+		}
+	}
+}
+
+// TestSpoiledMatchesLemma3 checks the spoiled schedules against the explicit
+// case enumeration in the proof of Lemma 3.
+func TestSpoiledMatchesLemma3(t *testing.T) {
+	q := 9
+	tt := 2 // generic t
+	cases := []struct {
+		name    string
+		c       Chain
+		party   Party
+		u, v, w int // first spoiled round (Never = never within horizon)
+	}{
+		// |^2t_(2t+1): for Alice, U always non-spoiled; V, W non-spoiled iff r <= t.
+		{"rule3-alice", Chain{Top: 2 * tt, Bottom: 2*tt + 1, Q: q}, Alice, Never, tt + 1, tt + 1},
+		// |^2t_(2t-1): same shape for Alice.
+		{"rule1-alice", Chain{Top: 2 * tt, Bottom: 2*tt - 1, Q: q}, Alice, Never, tt + 1, tt + 1},
+		// |^(2t+1)_2t: U, V always non-spoiled; W non-spoiled iff r <= t.
+		{"rule4-alice", Chain{Top: 2*tt + 1, Bottom: 2 * tt, Q: q}, Alice, Never, Never, tt + 1},
+		// |^(2t-1)_2t: U, V always non-spoiled; W non-spoiled iff r <= t-1.
+		{"rule2-alice", Chain{Top: 2*tt - 1, Bottom: 2 * tt, Q: q}, Alice, Never, Never, tt},
+		// |^(q-1)_(q-1): all non-spoiled through round (q-1)/2.
+		{"last-alice", Chain{Top: q - 1, Bottom: q - 1, Q: q}, Alice, Never, (q-1)/2 + 1, (q-1)/2 + 1},
+		// |⁰₀: only U stays non-spoiled for r >= 1.
+		{"zero-alice", Chain{Top: 0, Bottom: 0, Q: q}, Alice, Never, 1, 1},
+		// Bob mirrors with bottom labels.
+		{"rule3-bob", Chain{Top: 2 * tt, Bottom: 2*tt + 1, Q: q}, Bob, tt + 1, Never, Never},
+		{"rule1-bob", Chain{Top: 2 * tt, Bottom: 2*tt - 1, Q: q}, Bob, tt, Never, Never},
+		{"rule4-bob", Chain{Top: 2*tt + 1, Bottom: 2 * tt, Q: q}, Bob, tt + 1, tt + 1, Never},
+		{"zero-bob", Chain{Top: 0, Bottom: 0, Q: q}, Bob, 1, 1, Never},
+		// Reference: nothing is ever spoiled.
+		{"ref", Chain{Top: 2 * tt, Bottom: 2*tt + 1, Q: q}, Reference, Never, Never, Never},
+	}
+	for _, c := range cases {
+		u, v, w := c.c.SpoiledFrom(c.party)
+		if u != c.u || v != c.v || w != c.w {
+			t.Errorf("%s %s: SpoiledFrom(%s) = (%d, %d, %d), want (%d, %d, %d)",
+				c.name, c.c, c.party, u, v, w, c.u, c.v, c.w)
+		}
+	}
+}
+
+// TestDivergentEdgesTouchOnlySpoiledSide is the chain-local core of
+// Lemma 3: whenever Alice's adversary disagrees with the reference
+// adversary about an edge of a chain in some round r <= (q-1)/2, every
+// endpoint of that edge that could *send* to a non-spoiled node is itself
+// spoiled for Alice in round r-1 — equivalently, the edge's lower endpoint
+// regions are spoiled. We check the stronger structural property that the
+// middle node V is spoiled for Alice from round r on whenever the top edge
+// status diverges, and W is spoiled whenever the bottom edge diverges.
+func TestDivergentEdgesTouchOnlySpoiledSide(t *testing.T) {
+	f := func(aRaw, deltaRaw, qRaw uint8, midReceives bool) bool {
+		q := 2*int(qRaw%8) + 5
+		a := int(aRaw) % q
+		// Generate a promise pair.
+		var b int
+		switch deltaRaw % 4 {
+		case 0:
+			b = a - 1
+		case 1:
+			b = a + 1
+		case 2:
+			a, b = 0, 0
+		default:
+			a, b = q-1, q-1
+		}
+		if b < 0 || b >= q {
+			return true // not a promise pair; skip
+		}
+		if a == b && a != 0 && a != q-1 && a%2 == 1 {
+			return true
+		}
+		c := Chain{Top: a, Bottom: b, Q: q}
+		_, vSpoil, wSpoil := c.SpoiledFrom(Alice)
+		horizon := (q - 1) / 2
+		for r := 1; r <= horizon; r++ {
+			refTop := c.TopEdgePresent(Reference, r, midReceives)
+			aliTop := c.TopEdgePresent(Alice, r, midReceives)
+			if refTop != aliTop && r < vSpoil {
+				// Divergent top edge while V still non-spoiled:
+				// only allowed in the conditional round of rule 3
+				// where the reference keeps the edge one round
+				// longer and the extra neighbor (V) is receiving.
+				if !(midReceives && !aliTop && refTop) {
+					return false
+				}
+			}
+			refBot := c.BottomEdgePresent(Reference, r, midReceives)
+			aliBot := c.BottomEdgePresent(Alice, r, midReceives)
+			if refBot != aliBot && r < wSpoil {
+				if !(midReceives && !aliBot && refBot) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidLabelPairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for promise-violating labels")
+		}
+	}()
+	Chain{Top: 0, Bottom: 3, Q: 9}.TopEdgePresent(Reference, 1, false)
+}
+
+func TestRoundZeroAllPresent(t *testing.T) {
+	// Round 0 is the initial topology: no adversary has removed anything.
+	pairs := [][2]int{{0, 0}, {0, 1}, {1, 0}, {3, 4}, {4, 3}, {8, 8}, {2, 2}}
+	for _, pr := range pairs {
+		c := Chain{Top: pr[0], Bottom: pr[1], Q: 9}
+		for _, p := range []Party{Reference, Alice, Bob} {
+			if !c.TopEdgePresent(p, 0, false) || !c.BottomEdgePresent(p, 0, false) {
+				t.Errorf("%s under %s: edge missing at round 0", c, p)
+			}
+		}
+	}
+}

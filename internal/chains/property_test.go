@@ -1,0 +1,170 @@
+package chains
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// promisePair derives a cycle-promise label pair from fuzz bytes, or
+// ok=false when the draw is invalid.
+func promisePair(aRaw, deltaRaw, qRaw uint8) (a, b, q int, ok bool) {
+	q = 2*int(qRaw%8) + 5
+	a = int(aRaw) % q
+	switch deltaRaw % 4 {
+	case 0:
+		b = a - 1
+	case 1:
+		b = a + 1
+	case 2:
+		a, b = 0, 0
+	default:
+		a, b = q-1, q-1
+	}
+	if b < 0 || b >= q {
+		return 0, 0, 0, false
+	}
+	return a, b, q, true
+}
+
+// TestRemovalMonotone: once an edge is absent it never reappears, for every
+// party and both middle-action schedules.
+func TestRemovalMonotone(t *testing.T) {
+	f := func(aRaw, deltaRaw, qRaw uint8, midReceives bool) bool {
+		a, b, q, ok := promisePair(aRaw, deltaRaw, qRaw)
+		if !ok {
+			return true
+		}
+		c := Chain{Top: a, Bottom: b, Q: q}
+		for _, p := range []Party{Reference, Alice, Bob} {
+			topWas, botWas := true, true
+			for r := 0; r <= 2*q; r++ {
+				top := c.TopEdgePresent(p, r, midReceives)
+				bot := c.BottomEdgePresent(p, r, midReceives)
+				if top && !topWas {
+					return false
+				}
+				if bot && !botWas {
+					return false
+				}
+				topWas, botWas = top, bot
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnconditionalRulesAgree: for chains governed by rules 1 and 2 (no
+// middle-action dependence), all three adversaries remove the same edge at
+// the same round — the divergences of the construction are confined to
+// rules 3/4 and the equal-label rules.
+func TestUnconditionalRulesAgree(t *testing.T) {
+	q := 13
+	for tt := 1; tt <= (q-1)/2; tt++ {
+		// Rule 1: |^2t_(2t-1); rule 2: |^(2t-1)_2t.
+		for _, c := range []Chain{
+			{Top: 2 * tt, Bottom: 2*tt - 1, Q: q},
+			{Top: 2*tt - 1, Bottom: 2 * tt, Q: q},
+		} {
+			for r := 0; r <= q; r++ {
+				rt := c.TopEdgePresent(Reference, r, true)
+				rb := c.BottomEdgePresent(Reference, r, true)
+				for _, p := range []Party{Alice, Bob} {
+					if c.TopEdgePresent(p, r, true) != rt ||
+						c.BottomEdgePresent(p, r, true) != rb {
+						t.Fatalf("%s: party %v diverges at round %d", c, p, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpoiledCoversDivergence: whichever round a party's schedule first
+// diverges from the reference (under either middle action), the adjacent
+// middle/bottom (for Alice) or middle/top (for Bob) node is already spoiled
+// at that round — no divergence is ever visible at a non-spoiled receiver.
+func TestSpoiledCoversDivergence(t *testing.T) {
+	f := func(aRaw, deltaRaw, qRaw uint8, midReceives bool) bool {
+		a, b, q, ok := promisePair(aRaw, deltaRaw, qRaw)
+		if !ok {
+			return true
+		}
+		c := Chain{Top: a, Bottom: b, Q: q}
+		horizon := (q - 1) / 2
+		for _, p := range []Party{Alice, Bob} {
+			u, v, w := c.SpoiledFrom(p)
+			for r := 1; r <= horizon; r++ {
+				topDiv := c.TopEdgePresent(Reference, r, midReceives) != c.TopEdgePresent(p, r, midReceives)
+				botDiv := c.BottomEdgePresent(Reference, r, midReceives) != c.BottomEdgePresent(p, r, midReceives)
+				if p == Alice {
+					// Alice's divergences must touch only spoiled V/W,
+					// unless covered by the receiving-middle exception
+					// of rules 3/4 (the divergent endpoint receives).
+					if topDiv && r < v && !midReceives {
+						return false
+					}
+					if botDiv && r < w && !midReceives {
+						return false
+					}
+				} else {
+					if topDiv && r < u && !midReceives {
+						return false
+					}
+					if botDiv && r < v && !midReceives {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMidActionRoundOnlyForRules34 verifies that exactly the rule-3/4 chain
+// forms are conditional.
+func TestMidActionRoundOnlyForRules34(t *testing.T) {
+	q := 11
+	conditional := func(top, bottom int) bool {
+		_, cond := Chain{Top: top, Bottom: bottom, Q: q}.MidActionRound()
+		return cond
+	}
+	if !conditional(4, 5) { // rule 3
+		t.Error("|⁴₅ should be conditional")
+	}
+	if !conditional(5, 4) { // rule 4
+		t.Error("|⁵₄ should be conditional")
+	}
+	for _, pair := range [][2]int{{4, 3}, {3, 4}, {0, 0}, {2, 2}, {q - 1, q - 1}} {
+		if conditional(pair[0], pair[1]) {
+			t.Errorf("|%d_%d should be unconditional", pair[0], pair[1])
+		}
+	}
+}
+
+// TestHorizonSafety: within the simulation horizon (q-1)/2, the |^(q-1) and
+// |^(q-2) chains keep all edges under every adversary (the property the
+// simulation's bridge stability relies on).
+func TestHorizonSafety(t *testing.T) {
+	for _, q := range []int{5, 9, 13, 21} {
+		horizon := (q - 1) / 2
+		for _, c := range []Chain{
+			{Top: q - 1, Bottom: q - 1, Q: q},
+			{Top: q - 1, Bottom: q - 2, Q: q},
+			{Top: q - 2, Bottom: q - 1, Q: q},
+		} {
+			for _, p := range []Party{Reference, Alice, Bob} {
+				for r := 0; r <= horizon; r++ {
+					if !c.TopEdgePresent(p, r, true) || !c.BottomEdgePresent(p, r, true) {
+						t.Errorf("q=%d %s party %v: edge missing at round %d <= horizon", q, c, p, r)
+					}
+				}
+			}
+		}
+	}
+}

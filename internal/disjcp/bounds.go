@@ -1,0 +1,63 @@
+package disjcp
+
+import (
+	"math"
+
+	"dyndiam/internal/bitio"
+)
+
+// TrivialBits returns the communication cost of the trivial two-party
+// protocol — Alice ships her whole input and Bob answers: n·⌈lg q⌉ + 1
+// bits. Every sound reduction-based bound lives between this ceiling and
+// the Theorem 1 floor.
+func TrivialBits(n, q int) int {
+	return n*bitio.WidthFor(q) + 1
+}
+
+// LowerBoundBits evaluates the Theorem 1 floor Ω(n/q²) − O(log n) with
+// unit constants: max(0, n/q² − lg n). It is the quantity the reduction's
+// O(s·log N) budget is compared against to extract the time lower bound
+// s = Ω(n / (q²·log N)).
+func LowerBoundBits(n, q int) float64 {
+	v := float64(n)/float64(q*q) - math.Log2(float64(n))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// TimeLowerBoundFloodingRounds evaluates the Theorem 6 conclusion for a
+// network of size N: s = (N/lg N)^(1/4), the flooding-round floor for
+// unknown-diameter CFLOOD/CONSENSUS/LEADERELECT.
+func TimeLowerBoundFloodingRounds(bigN int) float64 {
+	n := float64(bigN)
+	if n < 2 {
+		return 0
+	}
+	return math.Pow(n/math.Log2(n), 0.25)
+}
+
+// Solve runs the trivial protocol literally: Alice encodes x on a wire,
+// Bob decodes and evaluates. It returns the answer and the exact bits
+// exchanged, for harness comparisons against the reduction's bit counts.
+func (in Instance) Solve() (answer, bits int) {
+	var w bitio.Writer
+	width := bitio.WidthFor(in.Q)
+	for _, x := range in.X {
+		w.WriteUint(uint64(x), width)
+	}
+	// Bob's side: decode and evaluate against y.
+	rd := bitio.NewReader(w.Bytes(), w.Len())
+	answer = 1
+	for i := 0; i < in.N; i++ {
+		x, err := rd.ReadUint(width)
+		if err != nil {
+			return -1, 0
+		}
+		if x == 0 && in.Y[i] == 0 {
+			answer = 0
+		}
+	}
+	// Bob returns the 1-bit answer to Alice.
+	return answer, w.Len() + 1
+}

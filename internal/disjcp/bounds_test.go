@@ -1,0 +1,66 @@
+package disjcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyndiam/internal/rng"
+)
+
+func TestTrivialBits(t *testing.T) {
+	if got := TrivialBits(100, 5); got != 100*3+1 {
+		t.Errorf("TrivialBits(100, 5) = %d, want 301", got)
+	}
+}
+
+func TestLowerBoundBits(t *testing.T) {
+	if LowerBoundBits(10, 101) != 0 {
+		t.Error("tiny n/q² should clamp to 0")
+	}
+	big := LowerBoundBits(1<<20, 3)
+	if big <= 0 {
+		t.Error("large n small q should be positive")
+	}
+	// Monotone in n, antitone in q.
+	if LowerBoundBits(1<<20, 3) <= LowerBoundBits(1<<16, 3) {
+		t.Error("not monotone in n")
+	}
+	if LowerBoundBits(1<<20, 3) <= LowerBoundBits(1<<20, 9) {
+		t.Error("not antitone in q")
+	}
+}
+
+func TestTimeLowerBoundFloodingRounds(t *testing.T) {
+	if TimeLowerBoundFloodingRounds(1) != 0 {
+		t.Error("degenerate N")
+	}
+	if TimeLowerBoundFloodingRounds(1<<20) <= TimeLowerBoundFloodingRounds(1<<10) {
+		t.Error("curve must grow with N")
+	}
+}
+
+func TestSolveMatchesEval(t *testing.T) {
+	f := func(seed uint64, nRaw, qRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		q := 2*int(qRaw%8) + 3
+		in := Random(n, q, rng.New(seed))
+		ans, bits := in.Solve()
+		return ans == in.Eval() && bits == TrivialBits(n, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSandwich(t *testing.T) {
+	// The trivial cost sits above the Theorem 1 floor for all sane
+	// parameters (with unit constants).
+	for _, n := range []int{16, 256, 4096} {
+		for _, q := range []int{3, 9, 33} {
+			if float64(TrivialBits(n, q)) < LowerBoundBits(n, q) {
+				t.Errorf("n=%d q=%d: trivial %d below floor %.1f",
+					n, q, TrivialBits(n, q), LowerBoundBits(n, q))
+			}
+		}
+	}
+}

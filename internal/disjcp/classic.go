@@ -1,0 +1,62 @@
+package disjcp
+
+import "dyndiam/internal/rng"
+
+// Classic two-party set DISJOINTNESS, the ancestor of DISJOINTNESSCP: Alice
+// and Bob hold n-bit strings a and b; the answer is 0 if some index has
+// a_i = b_i = 1 (their sets intersect) and 1 otherwise. Kuhn and Oshman's
+// directed-static-network lower bound [16] — the closest prior result the
+// paper compares against — reduces from this problem; the paper's own
+// reductions need DISJOINTNESSCP's cycle promise instead (Section 1
+// explains why: the undirected dynamic setting would otherwise leak one
+// party's input to the other). It is included here as the comparison
+// baseline and for the documentation trail from [16] to this paper.
+type Classic struct {
+	N    int
+	A, B []bool
+}
+
+// Eval returns 1 if the sets are disjoint, 0 otherwise — aligned with the
+// DISJOINTNESSCP convention (0 = witness exists).
+func (c Classic) Eval() int {
+	for i := 0; i < c.N && i < len(c.A) && i < len(c.B); i++ {
+		if c.A[i] && c.B[i] {
+			return 0
+		}
+	}
+	return 1
+}
+
+// RandomClassic draws an instance with each element in each set
+// independently with probability p.
+func RandomClassic(n int, p float64, src *rng.Source) Classic {
+	c := Classic{N: n, A: make([]bool, n), B: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		c.A[i] = src.Prob(p)
+		c.B[i] = src.Prob(p)
+	}
+	return c
+}
+
+// ToCP embeds a classic instance into DISJOINTNESSCP_{n,3}: at q = 3 the
+// cycle promise pairs are (0,1), (1,0), (1,2), (2,1), (0,0), (2,2), and
+// the embedding a_i=b_i=1 → (0,0), else a_i=1 → (0,1), b_i=1 → (1,0),
+// neither → (2,2) preserves the answer. This is the q = 3 degeneration the
+// DISJOINTNESSCP literature notes: the cycle promise at minimum q recovers
+// (a promise variant of) classic disjointness.
+func (c Classic) ToCP() Instance {
+	in := Instance{N: c.N, Q: 3, X: make([]int, c.N), Y: make([]int, c.N)}
+	for i := 0; i < c.N; i++ {
+		switch {
+		case c.A[i] && c.B[i]:
+			in.X[i], in.Y[i] = 0, 0
+		case c.A[i]:
+			in.X[i], in.Y[i] = 0, 1
+		case c.B[i]:
+			in.X[i], in.Y[i] = 1, 0
+		default:
+			in.X[i], in.Y[i] = 2, 2
+		}
+	}
+	return in
+}

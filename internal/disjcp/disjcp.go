@@ -1,0 +1,172 @@
+// Package disjcp implements the two-party DISJOINTNESSCP_{n,q} communication
+// problem (Chen, Yu, Zhao, Gibbons, JACM 2014), the source of hardness for
+// all lower bounds in the paper.
+//
+// Alice holds x and Bob holds y, each a string of n characters over the
+// alphabet [0, q-1] with q odd, q >= 3. The answer is 0 if some index i has
+// x_i = y_i = 0, and 1 otherwise. Inputs must satisfy the cycle promise:
+// for every i, one of
+//
+//	y_i = x_i - 1,   y_i = x_i + 1,   (x_i, y_i) = (0, 0),   (x_i, y_i) = (q-1, q-1).
+//
+// Theorem 1 of the paper (quoted from [4]): any 1/5-error public-coin Monte
+// Carlo protocol for DISJOINTNESSCP_{n,q} communicates Ω(n/q²) − O(log n)
+// bits. This package provides instances, validation, evaluation, and
+// generators; the reduction harness in internal/twoparty consumes them.
+package disjcp
+
+import (
+	"fmt"
+
+	"dyndiam/internal/rng"
+)
+
+// Instance is one DISJOINTNESSCP_{n,q} input pair.
+type Instance struct {
+	N int   // number of characters
+	Q int   // alphabet size; odd, >= 3
+	X []int // Alice's input, len N, characters in [0, Q-1]
+	Y []int // Bob's input, len N, characters in [0, Q-1]
+}
+
+// Validate checks dimensions, ranges, and the cycle promise.
+func (in Instance) Validate() error {
+	if in.Q < 3 || in.Q%2 == 0 {
+		return fmt.Errorf("disjcp: q = %d must be odd and >= 3", in.Q)
+	}
+	if in.N < 1 {
+		return fmt.Errorf("disjcp: n = %d must be positive", in.N)
+	}
+	if len(in.X) != in.N || len(in.Y) != in.N {
+		return fmt.Errorf("disjcp: input lengths %d, %d differ from n = %d", len(in.X), len(in.Y), in.N)
+	}
+	for i := 0; i < in.N; i++ {
+		x, y := in.X[i], in.Y[i]
+		if x < 0 || x >= in.Q || y < 0 || y >= in.Q {
+			return fmt.Errorf("disjcp: character %d out of range: (%d, %d)", i, x, y)
+		}
+		if !promiseOK(x, y, in.Q) {
+			return fmt.Errorf("disjcp: cycle promise violated at index %d: (%d, %d)", i, x, y)
+		}
+	}
+	return nil
+}
+
+func promiseOK(x, y, q int) bool {
+	switch {
+	case y == x-1, y == x+1:
+		return true
+	case x == 0 && y == 0:
+		return true
+	case x == q-1 && y == q-1:
+		return true
+	}
+	return false
+}
+
+// Eval returns DISJOINTNESSCP(x, y): 0 if some index has x_i = y_i = 0,
+// 1 otherwise.
+func (in Instance) Eval() int {
+	for i := 0; i < in.N; i++ {
+		if in.X[i] == 0 && in.Y[i] == 0 {
+			return 0
+		}
+	}
+	return 1
+}
+
+// ZeroPairs returns the indices i with x_i = y_i = 0 (the witnesses of a
+// 0 answer). The Γ-subnetwork construction turns each such index into
+// (q-1)/2 disconnected |⁰₀ chains.
+func (in Instance) ZeroPairs() []int {
+	var out []int
+	for i := 0; i < in.N; i++ {
+		if in.X[i] == 0 && in.Y[i] == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// randomPromisePair draws one (x_i, y_i) satisfying the cycle promise.
+// If allowZero is false the pair (0, 0) is excluded.
+func randomPromisePair(q int, src *rng.Source, allowZero bool) (int, int) {
+	for {
+		x := src.Intn(q)
+		// Enumerate y choices valid for this x.
+		var choices []int
+		if x-1 >= 0 {
+			choices = append(choices, x-1)
+		}
+		if x+1 <= q-1 {
+			choices = append(choices, x+1)
+		}
+		if x == 0 && allowZero {
+			choices = append(choices, 0)
+		}
+		if x == q-1 {
+			choices = append(choices, q-1)
+		}
+		y := choices[src.Intn(len(choices))]
+		if !allowZero && x == 0 && y == 0 {
+			continue
+		}
+		return x, y
+	}
+}
+
+// RandomOne generates a uniform-ish promise-satisfying instance with
+// answer 1 (no (0, 0) index).
+func RandomOne(n, q int, src *rng.Source) Instance {
+	in := Instance{N: n, Q: q, X: make([]int, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		in.X[i], in.Y[i] = randomPromisePair(q, src, false)
+	}
+	return in
+}
+
+// RandomZero generates a promise-satisfying instance with answer 0: at
+// least one index is forced to (0, 0); zeros > 1 forces that many.
+func RandomZero(n, q, zeros int, src *rng.Source) Instance {
+	if zeros < 1 {
+		zeros = 1
+	}
+	if zeros > n {
+		zeros = n
+	}
+	in := RandomOne(n, q, src)
+	perm := src.Perm(n)
+	for k := 0; k < zeros; k++ {
+		i := perm[k]
+		in.X[i], in.Y[i] = 0, 0
+	}
+	return in
+}
+
+// Random generates a promise-satisfying instance where each index may be
+// (0, 0); the answer is whatever falls out.
+func Random(n, q int, src *rng.Source) Instance {
+	in := Instance{N: n, Q: q, X: make([]int, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		in.X[i], in.Y[i] = randomPromisePair(q, src, true)
+	}
+	return in
+}
+
+// FromStrings builds a small instance from digit strings such as "3110" and
+// "2200" (the paper's Figure 1 example), for tests and demos. Characters
+// must be decimal digits less than q.
+func FromStrings(x, y string, q int) (Instance, error) {
+	if len(x) != len(y) {
+		return Instance{}, fmt.Errorf("disjcp: length mismatch %d vs %d", len(x), len(y))
+	}
+	in := Instance{N: len(x), Q: q, X: make([]int, len(x)), Y: make([]int, len(y))}
+	for i := 0; i < len(x); i++ {
+		in.X[i] = int(x[i] - '0')
+		in.Y[i] = int(y[i] - '0')
+	}
+	if err := in.Validate(); err != nil {
+		return Instance{}, err
+	}
+	return in, nil
+}

@@ -1,0 +1,139 @@
+package disjcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyndiam/internal/rng"
+)
+
+func TestFigure1Example(t *testing.T) {
+	in, err := FromStrings("3110", "2200", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Eval(); got != 0 {
+		t.Errorf("Eval = %d, want 0 (index 4 is (0,0))", got)
+	}
+	zp := in.ZeroPairs()
+	if len(zp) != 1 || zp[0] != 3 {
+		t.Errorf("ZeroPairs = %v, want [3]", zp)
+	}
+}
+
+func TestValidateRejectsBadInputs(t *testing.T) {
+	cases := []Instance{
+		{N: 2, Q: 4, X: []int{0, 1}, Y: []int{1, 2}},       // even q
+		{N: 2, Q: 1, X: []int{0, 0}, Y: []int{0, 0}},       // q too small
+		{N: 0, Q: 5, X: nil, Y: nil},                       // empty
+		{N: 2, Q: 5, X: []int{0}, Y: []int{1, 2}},          // length mismatch
+		{N: 2, Q: 5, X: []int{0, 9}, Y: []int{1, 8}},       // out of range
+		{N: 2, Q: 5, X: []int{0, 3}, Y: []int{1, 0}},       // promise violated (3,0)
+		{N: 1, Q: 5, X: []int{2}, Y: []int{2}},             // (2,2) not allowed
+		{N: 1, Q: 5, X: []int{4}, Y: []int{2}},             // gap of 2
+		{N: 3, Q: 5, X: []int{0, 4, 1}, Y: []int{0, 4, 3}}, // last pair bad
+		{N: 2, Q: 5, X: []int{-1, 1}, Y: []int{0, 2}},      // negative
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid instance %+v", i, in)
+		}
+	}
+}
+
+func TestValidateAcceptsPromiseCases(t *testing.T) {
+	good := []Instance{
+		{N: 1, Q: 5, X: []int{0}, Y: []int{0}},
+		{N: 1, Q: 5, X: []int{4}, Y: []int{4}},
+		{N: 1, Q: 5, X: []int{2}, Y: []int{1}},
+		{N: 1, Q: 5, X: []int{2}, Y: []int{3}},
+		{N: 1, Q: 5, X: []int{0}, Y: []int{1}},
+		{N: 1, Q: 3, X: []int{2}, Y: []int{2}},
+	}
+	for i, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected valid instance: %v", i, err)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	one := Instance{N: 3, Q: 5, X: []int{1, 4, 0}, Y: []int{0, 4, 1}}
+	if one.Eval() != 1 {
+		t.Error("instance without (0,0) evaluated to 0")
+	}
+	zero := Instance{N: 3, Q: 5, X: []int{1, 0, 0}, Y: []int{0, 0, 1}}
+	if zero.Eval() != 0 {
+		t.Error("instance with (0,0) evaluated to 1")
+	}
+}
+
+func TestRandomOneProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, qRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		q := 2*int(qRaw%10) + 3 // odd, >= 3
+		in := RandomOne(n, q, rng.New(seed))
+		return in.Validate() == nil && in.Eval() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomZeroProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, qRaw, zRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		q := 2*int(qRaw%10) + 3
+		zeros := int(zRaw%5) + 1
+		in := RandomZero(n, q, zeros, rng.New(seed))
+		if in.Validate() != nil || in.Eval() != 0 {
+			return false
+		}
+		want := zeros
+		if want > n {
+			want = n
+		}
+		return len(in.ZeroPairs()) >= want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomAlwaysSatisfiesPromise(t *testing.T) {
+	f := func(seed uint64, nRaw, qRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		q := 2*int(qRaw%10) + 3
+		return Random(n, q, rng.New(seed)).Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomProducesBothAnswers(t *testing.T) {
+	src := rng.New(1)
+	saw := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		saw[Random(8, 5, src).Eval()] = true
+	}
+	if !saw[0] || !saw[1] {
+		t.Errorf("Random never produced both answers: %v", saw)
+	}
+}
+
+func TestFromStringsRejectsPromiseViolation(t *testing.T) {
+	if _, err := FromStrings("30", "10", 5); err == nil {
+		t.Error("FromStrings accepted (3,1)")
+	}
+	if _, err := FromStrings("31", "2", 5); err == nil {
+		t.Error("FromStrings accepted length mismatch")
+	}
+}
+
+func BenchmarkRandomOne(b *testing.B) {
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		RandomOne(256, 9, src)
+	}
+}

@@ -1,0 +1,239 @@
+package dynet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dyndiam/internal/graph"
+)
+
+// Engine executes a protocol over a dynamic network. Configure the fields,
+// then call Run or RunUntil. An Engine is single-use per execution.
+type Engine struct {
+	Machines []Machine
+	Adv      Adversary
+
+	// Budget is the per-message bit budget; zero means Budget(len(Machines)).
+	Budget int
+	// CheckConnectivity makes the engine verify each round's topology is
+	// connected, as the model requires of the adversary.
+	CheckConnectivity bool
+	// Workers > 1 selects the goroutine-parallel stepper with that many
+	// workers; 1 forces sequential; 0 picks GOMAXPROCS. Parallel and
+	// sequential execution are bit-identical because machines only share
+	// the read-only topology.
+	Workers int
+	// Trace, when non-nil, records per-round topologies and statistics.
+	Trace *Trace
+
+	// Terminated, when non-nil, overrides the default all-nodes-decided
+	// termination predicate (e.g. CFLOOD terminates when the source
+	// outputs).
+	Terminated func(ms []Machine) bool
+}
+
+// Result summarizes an execution.
+type Result struct {
+	// Rounds is the round number at whose end the termination predicate
+	// first held, or MaxRounds if it never did.
+	Rounds int
+	// Done reports whether the termination predicate held by the end.
+	Done bool
+	// Messages is the number of messages sent (one per sending node per
+	// round, whether or not anyone received it).
+	Messages int
+	// Bits is the total number of payload bits sent.
+	Bits int
+	// Outputs holds each node's output value; valid only for nodes whose
+	// machine reported termination (Decided[v]).
+	Outputs []int64
+	Decided []bool
+}
+
+// Run executes up to maxRounds rounds, stopping early when the termination
+// predicate holds. It returns an error on model violations (bit budget or
+// connectivity).
+func (e *Engine) Run(maxRounds int) (*Result, error) {
+	n := len(e.Machines)
+	if n == 0 {
+		return &Result{Done: true}, nil
+	}
+	budget := e.Budget
+	if budget == 0 {
+		budget = Budget(n)
+	}
+	workers := e.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	terminated := e.Terminated
+	if terminated == nil {
+		terminated = AllDecided
+	}
+
+	res := &Result{Rounds: maxRounds}
+	actions := make([]Action, n)
+	outgoing := make([]Message, n)
+	inboxes := make([][]Message, n)
+
+	for r := 1; r <= maxRounds; r++ {
+		// Phase 1: coin flips and send/receive commitment.
+		if err := e.step(r, actions, outgoing, workers); err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			if actions[v] == Send {
+				if outgoing[v].NBits > budget {
+					return nil, budgetError(v, r, outgoing[v].NBits, budget)
+				}
+				res.Messages++
+				res.Bits += outgoing[v].NBits
+			}
+		}
+
+		// Phase 2: the adversary fixes the topology knowing the actions.
+		g := e.Adv.Topology(r, actions)
+		if g == nil || g.N() != n {
+			return nil, fmt.Errorf("dynet: adversary returned topology over %v nodes, want %d", gN(g), n)
+		}
+		if e.CheckConnectivity && !g.Connected() {
+			return nil, fmt.Errorf("dynet: adversary returned disconnected topology in round %d", r)
+		}
+
+		// Phase 3: delivery to receiving nodes.
+		e.collect(g, actions, outgoing, inboxes)
+		e.deliver(r, actions, inboxes, workers)
+
+		if e.Trace != nil {
+			e.Trace.record(r, g, actions, outgoing)
+		}
+
+		if terminated(e.Machines) {
+			res.Rounds = r
+			res.Done = true
+			break
+		}
+	}
+
+	res.Outputs = make([]int64, n)
+	res.Decided = make([]bool, n)
+	for v, m := range e.Machines {
+		res.Outputs[v], res.Decided[v] = m.Output()
+	}
+	if !res.Done {
+		res.Done = terminated(e.Machines)
+	}
+	return res, nil
+}
+
+func gN(g *graph.Graph) interface{} {
+	if g == nil {
+		return "nil"
+	}
+	return g.N()
+}
+
+// AllDecided is the default termination predicate: every node has output.
+func AllDecided(ms []Machine) bool {
+	for _, m := range ms {
+		if _, ok := m.Output(); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeDecided returns a termination predicate that holds once node v has
+// output — the CFLOOD termination condition for source v.
+func NodeDecided(v int) func([]Machine) bool {
+	return func(ms []Machine) bool {
+		_, ok := ms[v].Output()
+		return ok
+	}
+}
+
+func (e *Engine) step(r int, actions []Action, outgoing []Message, workers int) error {
+	n := len(e.Machines)
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			actions[v], outgoing[v] = e.Machines[v].Step(r)
+			outgoing[v].From = v
+		}
+		return nil
+	}
+	parallelFor(n, workers, func(v int) {
+		actions[v], outgoing[v] = e.Machines[v].Step(r)
+		outgoing[v].From = v
+	})
+	return nil
+}
+
+// collect builds each receiving node's inbox: the messages of its sending
+// neighbors, ordered by sender id for determinism.
+func (e *Engine) collect(g *graph.Graph, actions []Action, outgoing []Message, inboxes [][]Message) {
+	n := len(e.Machines)
+	for v := 0; v < n; v++ {
+		inboxes[v] = inboxes[v][:0]
+		if actions[v] != Receive {
+			continue
+		}
+		g.ForEachNeighbor(v, func(u int) {
+			if actions[u] == Send {
+				inboxes[v] = append(inboxes[v], outgoing[u])
+			}
+		})
+		sort.Slice(inboxes[v], func(i, j int) bool {
+			return inboxes[v][i].From < inboxes[v][j].From
+		})
+	}
+}
+
+func (e *Engine) deliver(r int, actions []Action, inboxes [][]Message, workers int) {
+	n := len(e.Machines)
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			if actions[v] == Receive {
+				e.Machines[v].Deliver(r, inboxes[v])
+			}
+		}
+		return
+	}
+	parallelFor(n, workers, func(v int) {
+		if actions[v] == Receive {
+			e.Machines[v].Deliver(r, inboxes[v])
+		}
+	})
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the given number of
+// goroutines, splitting the index space into contiguous chunks.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

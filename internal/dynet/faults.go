@@ -1,0 +1,95 @@
+package dynet
+
+import "dyndiam/internal/rng"
+
+// Junk is a fault-injection machine: it sends adversarially random payloads
+// (within the bit budget) on a coin-driven schedule and never decides.
+// Protocol tests drop one or more Junk machines into a network to verify
+// that message decoders tolerate arbitrary bytes — a malformed message must
+// be ignored, never panic or corrupt state.
+//
+// Junk is exported from dynet (rather than duplicated per test package)
+// because every protocol's robustness test needs it.
+type Junk struct {
+	coins  *rng.Source
+	budget int
+	// SendPermille is the per-round probability (in thousandths) of
+	// sending junk instead of receiving; default 500.
+	sendPermille int
+}
+
+// JunkProtocol builds Junk machines for every node.
+type JunkProtocol struct {
+	// SendPermille configures all machines (default 500).
+	SendPermille int
+}
+
+// Name implements Protocol.
+func (JunkProtocol) Name() string { return "dynet/junk" }
+
+// NewMachine implements Protocol.
+func (p JunkProtocol) NewMachine(cfg Config) Machine {
+	return NewJunk(cfg, p.SendPermille)
+}
+
+// NewJunk returns one junk machine for the node described by cfg.
+func NewJunk(cfg Config, sendPermille int) *Junk {
+	if sendPermille <= 0 {
+		sendPermille = 500
+	}
+	return &Junk{
+		coins:        cfg.Coins.Split('j', 'u', 'n', 'k'),
+		budget:       cfg.Budget,
+		sendPermille: sendPermille,
+	}
+}
+
+// Step implements Machine: with the configured probability it emits a
+// payload of uniformly random bits and random length up to the budget.
+func (j *Junk) Step(r int) (Action, Message) {
+	if !j.coins.Prob(float64(j.sendPermille) / 1000) {
+		return Receive, Message{}
+	}
+	nbits := 1 + j.coins.Intn(j.budget)
+	payload := make([]byte, (nbits+7)/8)
+	for i := range payload {
+		payload[i] = byte(j.coins.Uint64())
+	}
+	return Send, Message{Payload: payload, NBits: nbits}
+}
+
+// Deliver implements Machine (junk machines ignore everything).
+func (j *Junk) Deliver(int, []Message) {}
+
+// Output implements Machine: junk machines never decide.
+func (j *Junk) Output() (int64, bool) { return 0, false }
+
+// WithJunk replaces the machines at the given node ids with junk senders,
+// returning the modified slice (in place) for engine construction.
+func WithJunk(ms []Machine, cfgs []Config, ids ...int) []Machine {
+	for _, id := range ids {
+		ms[id] = NewJunk(cfgs[id], 0)
+	}
+	return ms
+}
+
+// Configs reconstructs the per-node Configs NewMachines would have used,
+// so fault-injection helpers can rebuild individual machines.
+func Configs(n int, inputs []int64, seed uint64, extra map[string]int64) []Config {
+	root := rng.New(seed)
+	budget := Budget(n)
+	out := make([]Config, n)
+	for v := 0; v < n; v++ {
+		var in int64
+		if inputs != nil {
+			in = inputs[v]
+		}
+		out[v] = Config{
+			N: n, ID: v, Input: in,
+			Coins:  root.Split(uint64(v) + 1),
+			Budget: budget,
+			Extra:  extra,
+		}
+	}
+	return out
+}

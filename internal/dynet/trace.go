@@ -1,0 +1,49 @@
+package dynet
+
+import "dyndiam/internal/graph"
+
+// RoundStats aggregates what happened in one round.
+type RoundStats struct {
+	Round    int
+	Senders  int
+	Bits     int
+	Edges    int
+	Topology *graph.Graph // nil unless the trace keeps topologies
+}
+
+// Trace records an execution round by round. Keeping topologies costs
+// O(rounds * edges) memory; enable it only when the dynamic diameter or the
+// reduction referee needs them.
+type Trace struct {
+	// KeepTopologies stores a clone of every round's graph.
+	KeepTopologies bool
+
+	Stats []RoundStats
+}
+
+func (t *Trace) record(r int, g *graph.Graph, actions []Action, outgoing []Message) {
+	st := RoundStats{Round: r, Edges: g.M()}
+	for v, a := range actions {
+		if a == Send {
+			st.Senders++
+			st.Bits += outgoing[v].NBits
+		}
+	}
+	if t.KeepTopologies {
+		st.Topology = g.Clone()
+	}
+	t.Stats = append(t.Stats, st)
+}
+
+// Topologies returns the recorded per-round graphs (round 1 first). It
+// panics if KeepTopologies was not set.
+func (t *Trace) Topologies() []*graph.Graph {
+	out := make([]*graph.Graph, len(t.Stats))
+	for i, st := range t.Stats {
+		if st.Topology == nil {
+			panic("dynet: trace did not keep topologies")
+		}
+		out[i] = st.Topology
+	}
+	return out
+}

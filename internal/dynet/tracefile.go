@@ -1,0 +1,126 @@
+package dynet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dyndiam/internal/graph"
+)
+
+// Trace serialization: a compact binary format for persisting executions
+// (round statistics plus, optionally, per-round topologies) so experiment
+// runs can be archived and re-analyzed offline (e.g. recomputing dynamic
+// diameters without re-simulating).
+//
+// Format (all integers little-endian):
+//
+//	magic "DYTR" | version u16 | flags u16 (bit0: topologies)
+//	nodeCount u32 | roundCount u32
+//	per round: round u32, senders u32, bits u64, edges u32
+//	           [if topologies] edgeCount u32, then edgeCount x (u32, u32)
+const (
+	traceMagic   = "DYTR"
+	traceVersion = 1
+)
+
+// WriteTrace serializes a trace. nodeCount is needed to rebuild topologies.
+func WriteTrace(w io.Writer, t *Trace, nodeCount int) error {
+	if _, err := io.WriteString(w, traceMagic); err != nil {
+		return err
+	}
+	var flags uint16
+	if t.KeepTopologies {
+		flags |= 1
+	}
+	if err := writeAll(w, uint16(traceVersion), flags, uint32(nodeCount), uint32(len(t.Stats))); err != nil {
+		return err
+	}
+	for _, st := range t.Stats {
+		if err := writeAll(w, uint32(st.Round), uint32(st.Senders), uint64(st.Bits), uint32(st.Edges)); err != nil {
+			return err
+		}
+		if t.KeepTopologies {
+			if st.Topology == nil {
+				return fmt.Errorf("dynet: trace flagged with topologies but round %d has none", st.Round)
+			}
+			edges := st.Topology.Edges()
+			if err := writeAll(w, uint32(len(edges))); err != nil {
+				return err
+			}
+			for _, e := range edges {
+				if err := writeAll(w, uint32(e[0]), uint32(e[1])); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReadTrace deserializes a trace written by WriteTrace, returning the trace
+// and the node count.
+func ReadTrace(r io.Reader) (*Trace, int, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, 0, err
+	}
+	if string(magic) != traceMagic {
+		return nil, 0, fmt.Errorf("dynet: bad trace magic %q", magic)
+	}
+	var version, flags uint16
+	var nodeCount, roundCount uint32
+	if err := readAll(r, &version, &flags, &nodeCount, &roundCount); err != nil {
+		return nil, 0, err
+	}
+	if version != traceVersion {
+		return nil, 0, fmt.Errorf("dynet: unsupported trace version %d", version)
+	}
+	t := &Trace{KeepTopologies: flags&1 != 0}
+	for i := uint32(0); i < roundCount; i++ {
+		var round, senders, edges uint32
+		var bits uint64
+		if err := readAll(r, &round, &senders, &bits, &edges); err != nil {
+			return nil, 0, err
+		}
+		st := RoundStats{Round: int(round), Senders: int(senders), Bits: int(bits), Edges: int(edges)}
+		if t.KeepTopologies {
+			var edgeCount uint32
+			if err := readAll(r, &edgeCount); err != nil {
+				return nil, 0, err
+			}
+			g := graph.New(int(nodeCount))
+			for e := uint32(0); e < edgeCount; e++ {
+				var u, v uint32
+				if err := readAll(r, &u, &v); err != nil {
+					return nil, 0, err
+				}
+				if int(u) >= int(nodeCount) || int(v) >= int(nodeCount) {
+					return nil, 0, fmt.Errorf("dynet: trace edge (%d, %d) out of range", u, v)
+				}
+				g.AddEdge(int(u), int(v))
+			}
+			st.Topology = g
+		}
+		t.Stats = append(t.Stats, st)
+	}
+	return t, int(nodeCount), nil
+}
+
+func writeAll(w io.Writer, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readAll(r io.Reader, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

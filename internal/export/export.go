@@ -1,0 +1,136 @@
+// Package export renders experiment artifacts for external tools:
+// Graphviz DOT for round topologies (with construction roles highlighted)
+// and CSV for harness tables.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/harness"
+	"dyndiam/internal/subnet"
+)
+
+// DOT renders one topology as an undirected Graphviz graph. colors maps
+// node ids to fill colors; nodes absent from the map are drawn plainly.
+// labels maps node ids to display labels (default: the id).
+func DOT(g *graph.Graph, name string, colors, labels map[int]string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", name)
+	sb.WriteString("  node [shape=circle, fontsize=10];\n")
+	for v := 0; v < g.N(); v++ {
+		attrs := []string{}
+		if l, ok := labels[v]; ok {
+			attrs = append(attrs, fmt.Sprintf("label=%q", l))
+		}
+		if c, ok := colors[v]; ok {
+			attrs = append(attrs, fmt.Sprintf("style=filled, fillcolor=%q", c))
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&sb, "  %d [%s];\n", v, strings.Join(attrs, ", "))
+		}
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  %d -- %d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// CFloodDOT renders round r of the Theorem 6 composition under party p,
+// coloring the construction roles: the specials A_Γ/B_Γ/A_Λ/B_Λ, the Γ-line
+// middles, the Λ mounting points, and (when p is Alice or Bob) the nodes
+// already spoiled for that party in round r.
+func CFloodDOT(net *subnet.CFloodNet, p chains.Party, r int) string {
+	colors := map[int]string{
+		net.Gamma.A:  "gold",
+		net.Gamma.B:  "gold",
+		net.Lambda.A: "orange",
+		net.Lambda.B: "orange",
+	}
+	labels := map[int]string{
+		net.Gamma.A:  "AΓ",
+		net.Gamma.B:  "BΓ",
+		net.Lambda.A: "AΛ",
+		net.Lambda.B: "BΛ",
+	}
+	for _, v := range net.Gamma.LineMiddles() {
+		colors[v] = "lightblue"
+	}
+	for _, v := range net.Lambda.MountingPoints() {
+		colors[v] = "lightgreen"
+	}
+	if p != chains.Reference {
+		spoiled := net.SpoiledFrom(p)
+		for v, s := range spoiled {
+			if r >= s {
+				colors[v] = "gray"
+			}
+		}
+	}
+	topo := net.Topology(p, r, nil)
+	return DOT(topo, fmt.Sprintf("cflood_q%d_%s_r%d", net.In.Q, p, r), colors, labels)
+}
+
+// ConsensusDOT renders round r of the Theorem 7 composition under party p:
+// Λ specials gold, Υ specials (when present) red, mounting points green,
+// and the party's spoiled region gray.
+func ConsensusDOT(net *subnet.ConsensusNet, p chains.Party, r int) string {
+	colors := map[int]string{
+		net.Lambda.A: "gold",
+		net.Lambda.B: "gold",
+	}
+	labels := map[int]string{
+		net.Lambda.A: "AΛ",
+		net.Lambda.B: "BΛ",
+	}
+	for _, v := range net.Lambda.MountingPoints() {
+		colors[v] = "lightgreen"
+	}
+	if net.Upsilon != nil {
+		colors[net.Upsilon.A] = "tomato"
+		colors[net.Upsilon.B] = "tomato"
+		labels[net.Upsilon.A] = "AΥ"
+		labels[net.Upsilon.B] = "BΥ"
+		for _, v := range net.Upsilon.MountingPoints() {
+			colors[v] = "lightgreen"
+		}
+	}
+	if p != chains.Reference {
+		spoiled := net.SpoiledFrom(p)
+		for v, s := range spoiled {
+			if r >= s {
+				colors[v] = "gray"
+			}
+		}
+	}
+	topo := net.Topology(p, r, nil)
+	return DOT(topo, fmt.Sprintf("consensus_q%d_%s_r%d", net.In.Q, p, r), colors, labels)
+}
+
+// WriteCSV emits a harness table as CSV (header row first).
+func WriteCSV(w io.Writer, t *harness.Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,98 @@
+package export
+
+import (
+	"strings"
+	"testing"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/harness"
+	"dyndiam/internal/rng"
+	"dyndiam/internal/subnet"
+)
+
+func TestDOTBasics(t *testing.T) {
+	g := graph.Line(3)
+	out := DOT(g, "demo", map[int]string{0: "red"}, map[int]string{2: "end"})
+	for _, want := range []string{`graph "demo"`, "0 -- 1;", "1 -- 2;", `fillcolor="red"`, `label="end"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "--") != 2 {
+		t.Errorf("edge count wrong:\n%s", out)
+	}
+}
+
+func TestDOTDeterministicOrder(t *testing.T) {
+	g := graph.Ring(6)
+	if DOT(g, "a", nil, nil) != DOT(g, "a", nil, nil) {
+		t.Error("DOT output nondeterministic")
+	}
+}
+
+func TestCFloodDOT(t *testing.T) {
+	in := disjcp.RandomZero(2, 9, 1, rng.New(3))
+	net, err := subnet.NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CFloodDOT(net, chains.Alice, 2)
+	// For Alice, spoiled nodes (including the mounting point and the
+	// line middles, spoiled from round 1) are grayed out.
+	for _, want := range []string{"AΓ", "BΛ", `fillcolor="gray"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CFloodDOT(alice) missing %q", want)
+		}
+	}
+	ref := CFloodDOT(net, chains.Reference, 2)
+	if strings.Contains(ref, `"gray"`) {
+		t.Error("reference rendering must not gray out nodes")
+	}
+	for _, want := range []string{`fillcolor="lightblue"`, `fillcolor="lightgreen"`} {
+		if !strings.Contains(ref, want) {
+			t.Errorf("CFloodDOT(reference) missing %q", want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := &harness.Table{Header: []string{"a", "b"}}
+	tb.Add(1, "x,y")
+	var sb strings.Builder
+	if err := WriteCSV(&sb, tb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Errorf("csv header wrong: %q", got)
+	}
+	if !strings.Contains(got, `"x,y"`) {
+		t.Errorf("csv quoting wrong: %q", got)
+	}
+}
+
+func TestConsensusDOT(t *testing.T) {
+	zero, err := subnet.NewConsensus(disjcp.RandomZero(2, 9, 1, rng.New(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ConsensusDOT(zero, chains.Reference, 1)
+	for _, want := range []string{"AΛ", "AΥ", `fillcolor="tomato"`, `fillcolor="lightgreen"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ConsensusDOT(0-instance) missing %q", want)
+		}
+	}
+	one, err := subnet.NewConsensus(disjcp.RandomOne(2, 9, rng.New(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneOut := ConsensusDOT(one, chains.Alice, 2)
+	if strings.Contains(oneOut, "AΥ") {
+		t.Error("1-instance rendering mentions Υ")
+	}
+	if !strings.Contains(oneOut, `fillcolor="gray"`) {
+		t.Error("Alice rendering missing spoiled region")
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import "dyndiam/internal/rng"
+
+// Grid returns the rows x cols 2D grid graph (vertex r*cols+c).
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.AddEdge(v, v+1)
+			}
+			if r+1 < rows {
+				g.AddEdge(v, v+cols)
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube over 2^dim vertices.
+func Hypercube(dim int) *Graph {
+	n := 1 << uint(dim)
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegularish returns a connected graph where every vertex has degree
+// close to d: a random Hamiltonian-style cycle (guaranteeing connectivity)
+// plus (d-2)/2 random perfect-matching-ish passes. Exact regularity is not
+// guaranteed (self-pairs are skipped), but degrees concentrate around d,
+// giving an expander-like low-diameter family for the experiments.
+func RandomRegularish(n, d int, src *rng.Source) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	perm := src.Perm(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(perm[i], perm[(i+1)%n])
+	}
+	passes := (d - 2) / 2
+	for p := 0; p < passes; p++ {
+		m := src.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			if m[i] != m[i+1] {
+				g.AddEdge(m[i], m[i+1])
+			}
+		}
+	}
+	return g
+}
+
+// Barbell returns two complete graphs of size k joined by a path of
+// pathLen vertices — a classic high-diameter, high-conductance-contrast
+// topology for stress-testing dissemination.
+func Barbell(k, pathLen int) *Graph {
+	n := 2*k + pathLen
+	g := New(n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(i, j)
+			g.AddEdge(k+pathLen+i, k+pathLen+j)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathLen; i++ {
+		g.AddEdge(prev, k+i)
+		prev = k + i
+	}
+	g.AddEdge(prev, k+pathLen)
+	return g
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyndiam/internal/rng"
+)
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.M() != 17 {
+		t.Errorf("M = %d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Error("grid disconnected")
+	}
+	if d := g.StaticDiameter(); d != 3-1+4-1 {
+		t.Errorf("diameter = %d, want 5", d)
+	}
+	if g.Degree(0) != 2 || g.Degree(5) != 4 {
+		t.Errorf("corner/inner degrees: %d, %d", g.Degree(0), g.Degree(5))
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for dim := 1; dim <= 6; dim++ {
+		g := Hypercube(dim)
+		n := 1 << uint(dim)
+		if g.N() != n {
+			t.Fatalf("dim %d: N = %d", dim, g.N())
+		}
+		if g.M() != dim*n/2 {
+			t.Errorf("dim %d: M = %d, want %d", dim, g.M(), dim*n/2)
+		}
+		if d := g.StaticDiameter(); d != dim {
+			t.Errorf("dim %d: diameter = %d", dim, d)
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != dim {
+				t.Fatalf("dim %d: degree(%d) = %d", dim, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestRandomRegularishProperties(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%100) + 4
+		d := 2*(int(dRaw%4)+1) + 2 // 4, 6, 8, 10
+		g := RandomRegularish(n, d, rng.New(seed))
+		if !g.Connected() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) < 2 || g.Degree(v) > d+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomRegularishLowDiameter(t *testing.T) {
+	g := RandomRegularish(512, 8, rng.New(3))
+	if d := g.StaticDiameter(); d > 8 {
+		t.Errorf("512-node 8-regular-ish diameter %d > 8 (expander-like expected)", d)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 3)
+	if g.N() != 13 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("barbell disconnected")
+	}
+	// Diameter: across both cliques through the path: 1 + (pathLen+1) + 1.
+	if d := g.StaticDiameter(); d != 6 {
+		t.Errorf("diameter = %d, want 6", d)
+	}
+}
+
+func TestBarbellNoPath(t *testing.T) {
+	g := Barbell(4, 0)
+	if !g.Connected() {
+		t.Fatal("disconnected")
+	}
+	if g.N() != 8 {
+		t.Fatalf("N = %d", g.N())
+	}
+}

@@ -1,0 +1,260 @@
+// Package graph provides the static-graph substrate used by the dynamic
+// network simulator: one Graph value describes the topology of a single
+// round. Vertices are dense integer ids in [0, N).
+//
+// The package deliberately stays small and allocation-conscious: the round
+// engine builds or edits a Graph every round, and the reduction harness
+// copies per-round topologies for three different adversaries.
+package graph
+
+// Graph is an undirected graph over vertices 0..N-1 with adjacency sets.
+// Self-loops are rejected; parallel edges collapse.
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g := &Graph{n: n, adj: make([]map[int]struct{}, n)}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic("graph: vertex out of range")
+	}
+}
+
+// AddEdge inserts the undirected edge (u, v). Adding an existing edge is a
+// no-op. It panics on self-loops or out-of-range vertices.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic("graph: self-loop")
+	}
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int]struct{})
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int]struct{})
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+}
+
+// RemoveEdge deletes the undirected edge (u, v) if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if g.adj[u] != nil {
+		delete(g.adj[u], v)
+	}
+	if g.adj[v] != nil {
+		delete(g.adj[v], u)
+	}
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if g.adj[u] == nil {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Neighbors appends the neighbors of v to dst and returns the result.
+// Iteration order is unspecified; callers that need determinism sort.
+func (g *Graph) Neighbors(v int, dst []int) []int {
+	g.check(v)
+	for u := range g.adj[v] {
+		dst = append(dst, u)
+	}
+	return dst
+}
+
+// ForEachNeighbor calls fn for every neighbor of v.
+func (g *Graph) ForEachNeighbor(v int, fn func(u int)) {
+	g.check(v)
+	for u := range g.adj[v] {
+		fn(u)
+	}
+}
+
+// Edges returns all edges as pairs with u < v, in unspecified order.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u, a := range g.adj {
+		for v := range a {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u, a := range g.adj {
+		if len(a) == 0 {
+			continue
+		}
+		m := make(map[int]struct{}, len(a))
+		for v := range a {
+			m[v] = struct{}{}
+		}
+		c.adj[u] = m
+	}
+	return c
+}
+
+// Union returns a new graph over max(g.N, h.N) vertices whose edge set is
+// the union of both edge sets. It is used to compose subnetworks.
+func Union(g, h *Graph) *Graph {
+	n := g.n
+	if h.n > n {
+		n = h.n
+	}
+	out := New(n)
+	for u, a := range g.adj {
+		for v := range a {
+			if u < v {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	for u, a := range h.adj {
+		for v := range a {
+			if u < v {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	return out
+}
+
+// BFS computes hop distances from src; unreachable vertices get -1.
+func (g *Graph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := range g.adj[v] {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected. The empty and the
+// single-vertex graphs are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedOver reports whether the induced subgraph on the given vertex set
+// is connected (edges with an endpoint outside the set are ignored).
+func (g *Graph) ConnectedOver(set []int) bool {
+	if len(set) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		g.check(v)
+		in[v] = true
+	}
+	seen := map[int]bool{set[0]: true}
+	queue := []int{set[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := range g.adj[v] {
+			if in[u] && !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return len(seen) == len(set)
+}
+
+// Eccentricity returns the maximum BFS distance from v, or -1 if some vertex
+// is unreachable.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.BFS(v)
+	ecc := 0
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// StaticDiameter returns the diameter of the (static) graph, or -1 if it is
+// disconnected. This is the classic graph diameter, distinct from the
+// dynamic diameter computed by package dynet.
+func (g *Graph) StaticDiameter() int {
+	if g.n == 0 {
+		return 0
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		e := g.Eccentricity(v)
+		if e == -1 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}

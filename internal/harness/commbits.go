@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/protocols/flood"
+	"dyndiam/internal/rng"
+	"dyndiam/internal/subnet"
+	"dyndiam/internal/twoparty"
+)
+
+// CommRow relates, for one (n, q), the three communication quantities of
+// the Theorem 6 argument: the trivial two-party ceiling, the Theorem 1
+// floor (unit constants), and the bits the reduction actually forwarded
+// while simulating the fast oracle for (q-1)/2 rounds.
+type CommRow struct {
+	N, Q          int // DISJOINTNESSCP parameters
+	NetworkN      int
+	TrivialBits   int
+	FloorBits     float64
+	ReductionBits int
+	BitsPerRound  float64
+	TimeFloorFR   float64 // (N/lg N)^(1/4) for the composed network size
+}
+
+// CommTable sweeps (n, q) and measures the reduction's communication —
+// the budget side of "O(s log N) bits must exceed Ω(n/q²) − O(log n)".
+func CommTable(ns, qs []int, seed uint64) ([]CommRow, error) {
+	var rows []CommRow
+	src := rng.New(seed)
+	for _, n := range ns {
+		for _, q := range qs {
+			in := disjcp.RandomOne(n, q, src)
+			net, err := subnet.NewCFlood(in)
+			if err != nil {
+				return nil, err
+			}
+			setup := twoparty.FromCFlood(net, flood.CFlood{}, seed+uint64(n*q), map[string]int64{
+				flood.ExtraD: 10,
+			})
+			res, err := twoparty.Run(setup, false)
+			if err != nil {
+				return nil, err
+			}
+			bits := res.BitsAliceToBob + res.BitsBobToAlice
+			rows = append(rows, CommRow{
+				N: n, Q: q, NetworkN: net.N,
+				TrivialBits:   disjcp.TrivialBits(n, q),
+				FloorBits:     disjcp.LowerBoundBits(n, q),
+				ReductionBits: bits,
+				BitsPerRound:  float64(bits) / float64(res.Rounds),
+				TimeFloorFR:   disjcp.TimeLowerBoundFloodingRounds(net.N),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatCommTable renders CommTable rows.
+func FormatCommTable(rows []CommRow) *Table {
+	t := &Table{
+		Caption: "Communication accounting: reduction bits vs the trivial ceiling and the Theorem 1 floor",
+		Header:  []string{"n", "q", "network N", "trivial bits", "floor bits", "reduction bits", "bits/rnd", "(N/lgN)^1/4"},
+	}
+	for _, r := range rows {
+		t.Add(r.N, r.Q, r.NetworkN, r.TrivialBits, r.FloorBits, r.ReductionBits, r.BitsPerRound, r.TimeFloorFR)
+	}
+	return t
+}

@@ -1,0 +1,82 @@
+// Package harness runs the repository's experiments (DESIGN.md §4) and
+// renders their result tables: the known-vs-unknown-diameter gap (E4), the
+// Theorem 6/7 reduction runs (E1, E2), the Theorem 8 leader-election sweep
+// (E3), counting accuracy (E5, E6), the Lemma 5 referee (E7), and the
+// Figure 1-3 construction printouts (F1-F3). The cmd/ binaries and the
+// root-level benchmarks are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a plain-text result table with a caption.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Add appends one row; cells are Sprint-ed.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(w, "## %s\n", t.Caption)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

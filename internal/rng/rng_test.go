@@ -1,0 +1,195 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("distinct seeds produced %d equal draws in 100", same)
+	}
+}
+
+func TestSplitIsPure(t *testing.T) {
+	root := New(7)
+	before := *root
+	c1 := root.Split(3, 9)
+	if *root != before {
+		t.Fatal("Split mutated the parent stream")
+	}
+	c2 := root.Split(3, 9)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("identical Split labels gave different streams at draw %d", i)
+		}
+	}
+}
+
+func TestSplitLabelsIndependent(t *testing.T) {
+	root := New(7)
+	c1 := root.Split(1, 2)
+	c2 := root.Split(2, 1)
+	c3 := root.Split(1)
+	equal12, equal13 := 0, 0
+	for i := 0; i < 200; i++ {
+		v1, v2, v3 := c1.Uint64(), c2.Uint64(), c3.Uint64()
+		if v1 == v2 {
+			equal12++
+		}
+		if v1 == v3 {
+			equal13++
+		}
+	}
+	if equal12 > 0 || equal13 > 0 {
+		t.Errorf("split streams collide: (1,2)vs(2,1)=%d, (1,2)vs(1)=%d", equal12, equal13)
+	}
+}
+
+func TestAtMatchesSplit(t *testing.T) {
+	root := New(99)
+	a := root.At(5, 17)
+	b := root.Split(6, 18)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("At(5,17) differs from Split(6,18)")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		nn := int(n%100) + 1
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Intn(nn)
+			if v < 0 || v >= nn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnUniformish(t *testing.T) {
+	s := New(123)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("Intn(%d): value %d drawn %d times, want about %d", n, v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(77)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := s.Exp()
+		if v <= 0 {
+			t.Fatalf("Exp returned non-positive %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp mean = %v, want about 1", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Exp variance = %v, want about 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		nn := int(n % 64)
+		p := New(seed).Perm(nn)
+		if len(p) != nn {
+			return false
+		}
+		seen := make([]bool, nn)
+		for _, v := range p {
+			if v < 0 || v >= nn || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbExtremes(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100; i++ {
+		if s.Prob(0) {
+			t.Fatal("Prob(0) returned true")
+		}
+		if !s.Prob(1.0000001) {
+			t.Fatal("Prob(>1) returned false")
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkSplitAt(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.At(i&1023, i>>10)
+	}
+}

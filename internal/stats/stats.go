@@ -1,0 +1,92 @@
+// Package stats provides the small summary-statistics substrate the
+// experiment harness uses to aggregate repeated runs: mean, standard
+// deviation, extremes, and percentiles, plus a compact renderer.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	P50, P90  float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	var sum float64
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
+// sample by linear interpolation. It panics on an empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders "mean±std [min,max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f±%.2f [%.2f,%.2f] (n=%d)", s.Mean, s.Std, s.Min, s.Max, s.N)
+}
+
+// Repeat evaluates f over seeds 0..times-1 and summarizes the results.
+// Errors abort the repetition.
+func Repeat(times int, f func(seed uint64) (float64, error)) (Summary, error) {
+	xs := make([]float64, 0, times)
+	for i := 0; i < times; i++ {
+		v, err := f(uint64(i))
+		if err != nil {
+			return Summary{}, err
+		}
+		xs = append(xs, v)
+	}
+	return Summarize(xs), nil
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("N=%d Mean=%v, want 8, 5", s.N, s.Mean)
+	}
+	// Sample std of this classic sample is ~2.138.
+	if math.Abs(s.Std-2.1381) > 0.001 {
+		t.Errorf("Std = %v, want ~2.138", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.P50-4.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 4.5", s.P50)
+	}
+}
+
+func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty: %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.P50 != 3 || s.P90 != 3 {
+		t.Errorf("singleton: %+v", s)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if Percentile(sorted, 0) != 1 || Percentile(sorted, 1) != 4 {
+		t.Error("extreme percentiles wrong")
+	}
+	if got := Percentile(sorted, 0.5); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 2.5", got)
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.P50 < s.Min-1e-9 || s.P50 > s.Max+1e-9 {
+			return false
+		}
+		if s.P90 < s.P50-1e-9 {
+			return false
+		}
+		return s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, aRaw, bRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	s, err := Repeat(10, func(seed uint64) (float64, error) {
+		return float64(seed), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 || s.Mean != 4.5 || s.Min != 0 || s.Max != 9 {
+		t.Errorf("Repeat summary: %+v", s)
+	}
+	wantErr := errors.New("boom")
+	if _, err := Repeat(3, func(seed uint64) (float64, error) {
+		if seed == 1 {
+			return 0, wantErr
+		}
+		return 1, nil
+	}); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Summarize([]float64{1, 3})
+	if got := s.String(); got == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,249 @@
+package subnet
+
+import (
+	"fmt"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+)
+
+// CFloodNet is the Theorem 6 composition: a type-Γ and a type-Λ subnetwork
+// joined by the fixed bridging edge set
+//
+//	{(A_Γ, A_Λ), (B_Γ, B_Λ)}                     if DISJOINTNESSCP(x, y) = 1,
+//	{(A_Γ, A_Λ), (B_Γ, B_Λ), (L_Γ, L_Λ)}        if DISJOINTNESSCP(x, y) = 0,
+//
+// where L_Γ is one end of the Γ line of detached |⁰₀ middles and L_Λ is a
+// mounting point of the Λ subnetwork. The total node count is N = 3nq + 4
+// regardless of the answer, so N can be public. The resulting dynamic
+// network has diameter O(1) when the answer is 1 and Ω(q) when it is 0.
+type CFloodNet struct {
+	In     disjcp.Instance
+	Gamma  *Gamma
+	Lambda *Lambda
+	N      int
+	Disj   int // DISJOINTNESSCP(x, y)
+	// coreBridges are the always-present bridges known to all parties;
+	// refBridge is the (L_Γ, L_Λ) bridge of 0-instances, which only the
+	// reference adversary (and the referee) can place.
+	coreBridges [][2]int
+	refBridge   [2]int
+	hasRef      bool
+}
+
+// NewCFlood builds the Theorem 6 composition network for the instance.
+func NewCFlood(in disjcp.Instance) (*CFloodNet, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGamma(in, 0)
+	l := NewLambda(in, g.Size())
+	c := &CFloodNet{
+		In:     in,
+		Gamma:  g,
+		Lambda: l,
+		N:      g.Size() + l.Size(),
+		Disj:   in.Eval(),
+	}
+	if c.N != 3*in.N*in.Q+4 {
+		return nil, fmt.Errorf("subnet: node count %d != 3nq+4 = %d", c.N, 3*in.N*in.Q+4)
+	}
+	c.coreBridges = [][2]int{{g.A, l.A}, {g.B, l.B}}
+	if c.Disj == 0 {
+		lg, ok := g.LineEnd()
+		if !ok {
+			return nil, fmt.Errorf("subnet: 0-instance without a Γ line")
+		}
+		mounts := l.MountingPoints()
+		if len(mounts) == 0 {
+			return nil, fmt.Errorf("subnet: 0-instance without a Λ mounting point")
+		}
+		c.refBridge = [2]int{lg, mounts[0]}
+		c.hasRef = true
+	}
+	return c, nil
+}
+
+// Horizon returns (q-1)/2, the number of rounds the two-party simulation
+// runs (and through which the spoiled-node machinery is valid).
+func (c *CFloodNet) Horizon() int { return (c.In.Q - 1) / 2 }
+
+// Source returns the CFLOOD source node: A_Γ (Theorem 6's choice).
+func (c *CFloodNet) Source() int { return c.Gamma.A }
+
+// Bridges returns the bridging edge set of this instance's network.
+func (c *CFloodNet) Bridges() [][2]int {
+	out := append([][2]int(nil), c.coreBridges...)
+	if c.hasRef {
+		out = append(out, c.refBridge)
+	}
+	return out
+}
+
+// Topology renders the round-r graph under party p. actions may be nil
+// when no protocol execution is attached (rules 3/4 then default to the
+// "middle receives" schedule). Round 0 is the initial topology.
+func (c *CFloodNet) Topology(p chains.Party, r int, actions []dynet.Action) *graph.Graph {
+	g := graph.New(c.N)
+	mid := midRecv(actions)
+	c.Gamma.AddEdges(g, p, r, mid)
+	c.Lambda.AddEdges(g, p, r, mid)
+	for _, e := range c.coreBridges {
+		g.AddEdge(e[0], e[1])
+	}
+	if p == chains.Reference && c.hasRef {
+		g.AddEdge(c.refBridge[0], c.refBridge[1])
+	}
+	return g
+}
+
+// Adversary returns the dynet adversary presenting this network under
+// party p (Reference for real executions; Alice/Bob for simulated views).
+func (c *CFloodNet) Adversary(p chains.Party) dynet.Adversary {
+	return dynet.AdversaryFunc(func(r int, actions []dynet.Action) *graph.Graph {
+		return c.Topology(p, r, actions)
+	})
+}
+
+// SpoiledFrom returns, per node, the first round from whose beginning the
+// node is spoiled for party p (Never if not within any horizon).
+func (c *CFloodNet) SpoiledFrom(p chains.Party) []int {
+	dst := make([]int, c.N)
+	for i := range dst {
+		dst[i] = Never
+	}
+	c.Gamma.SpoiledFrom(dst, p)
+	c.Lambda.SpoiledFrom(dst, p)
+	return dst
+}
+
+// ForwardNodes returns the special nodes whose outgoing messages party p
+// forwards to the other party during the simulation: Alice forwards A_Γ and
+// A_Λ; Bob forwards B_Γ and B_Λ.
+func (c *CFloodNet) ForwardNodes(p chains.Party) []int {
+	switch p {
+	case chains.Alice:
+		return []int{c.Gamma.A, c.Lambda.A}
+	case chains.Bob:
+		return []int{c.Gamma.B, c.Lambda.B}
+	}
+	return nil
+}
+
+// ConsensusNet is the Theorem 7 composition: a type-Λ subnetwork (ids
+// [0, S)) plus, iff DISJOINTNESSCP(x, y) = 0, a type-Υ subnetwork (a second
+// Λ over ids [S, 2S)), joined by one bridging edge between two mounting
+// points. Initial consensus inputs are 0 throughout Λ and 1 throughout Υ.
+//
+// Because Υ's existence depends on the answer, N is 2S or S and cannot be
+// public; both values are within a 1/3 relative error of N' = 4S/3, which is
+// what the protocol is given.
+type ConsensusNet struct {
+	In         disjcp.Instance
+	Lambda     *Lambda
+	Upsilon    *Lambda // nil when the answer is 1
+	N          int     // actual node count (S or 2S)
+	PotentialN int     // 2S: the id space both parties agree on
+	NPrime     int     // the estimate handed to the protocol: round(4S/3)
+	Disj       int
+	bridge     [2]int
+	hasBridge  bool
+}
+
+// NewConsensus builds the Theorem 7 composition network for the instance.
+func NewConsensus(in disjcp.Instance) (*ConsensusNet, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	l := NewLambda(in, 0)
+	s := l.Size()
+	c := &ConsensusNet{
+		In:         in,
+		Lambda:     l,
+		PotentialN: 2 * s,
+		NPrime:     (4*s + 1) / 3, // round(4S/3); off by O(1/S) from exact 1/3
+		Disj:       in.Eval(),
+	}
+	if c.Disj == 0 {
+		c.Upsilon = NewLambda(in, s)
+		c.N = 2 * s
+		lm := l.MountingPoints()
+		um := c.Upsilon.MountingPoints()
+		if len(lm) == 0 || len(um) == 0 {
+			return nil, fmt.Errorf("subnet: 0-instance without mounting points")
+		}
+		c.bridge = [2]int{lm[0], um[0]}
+		c.hasBridge = true
+	} else {
+		c.N = s
+	}
+	return c, nil
+}
+
+// Horizon returns (q-1)/2.
+func (c *ConsensusNet) Horizon() int { return (c.In.Q - 1) / 2 }
+
+// Inputs returns the initial consensus values: 0 for every Λ node, 1 for
+// every Υ node.
+func (c *ConsensusNet) Inputs() []int64 {
+	in := make([]int64, c.N)
+	for v := c.Lambda.Size(); v < c.N; v++ {
+		in[v] = 1
+	}
+	return in
+}
+
+// Topology renders the round-r graph under party p. Under Alice's and
+// Bob's adversaries the Υ subnetwork is always empty, so their graphs span
+// only the Λ ids (padded to the same vertex count for comparability).
+func (c *ConsensusNet) Topology(p chains.Party, r int, actions []dynet.Action) *graph.Graph {
+	g := graph.New(c.N)
+	mid := midRecv(actions)
+	c.Lambda.AddEdges(g, p, r, mid)
+	if p == chains.Reference && c.Upsilon != nil {
+		c.Upsilon.AddEdges(g, p, r, mid)
+		if c.hasBridge {
+			g.AddEdge(c.bridge[0], c.bridge[1])
+		}
+	}
+	return g
+}
+
+// Adversary returns the dynet adversary for party p.
+func (c *ConsensusNet) Adversary(p chains.Party) dynet.Adversary {
+	return dynet.AdversaryFunc(func(r int, actions []dynet.Action) *graph.Graph {
+		return c.Topology(p, r, actions)
+	})
+}
+
+// SpoiledFrom returns per-node spoiled times for party p. All Υ nodes are
+// spoiled from round 0 onward — neither party ever simulates them.
+func (c *ConsensusNet) SpoiledFrom(p chains.Party) []int {
+	dst := make([]int, c.N)
+	for i := range dst {
+		dst[i] = Never
+	}
+	c.Lambda.SpoiledFrom(dst, p)
+	if c.Upsilon != nil {
+		for v := c.Lambda.Size(); v < c.N; v++ {
+			if p != chains.Reference {
+				dst[v] = 0
+			}
+		}
+	}
+	return dst
+}
+
+// ForwardNodes returns the nodes whose messages party p forwards: A_Λ for
+// Alice, B_Λ for Bob (A_Υ and B_Υ are never forwarded, per Section 5).
+func (c *ConsensusNet) ForwardNodes(p chains.Party) []int {
+	switch p {
+	case chains.Alice:
+		return []int{c.Lambda.A}
+	case chains.Bob:
+		return []int{c.Lambda.B}
+	}
+	return nil
+}

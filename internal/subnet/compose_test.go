@@ -1,0 +1,357 @@
+package subnet
+
+import (
+	"math"
+	"testing"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/rng"
+)
+
+func TestCFloodNodeCount(t *testing.T) {
+	for _, c := range []struct{ n, q int }{{2, 5}, {4, 5}, {3, 9}, {8, 13}} {
+		in := disjcp.RandomOne(c.n, c.q, rng.New(uint64(c.n*c.q)))
+		net, err := NewCFlood(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.N != 3*c.n*c.q+4 {
+			t.Errorf("n=%d q=%d: N = %d, want %d", c.n, c.q, net.N, 3*c.n*c.q+4)
+		}
+	}
+}
+
+func TestCFloodBridges(t *testing.T) {
+	src := rng.New(9)
+	one := disjcp.RandomOne(3, 7, src)
+	netOne, err := NewCFlood(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(netOne.Bridges()) != 2 {
+		t.Errorf("1-instance has %d bridges, want 2", len(netOne.Bridges()))
+	}
+	zero := disjcp.RandomZero(3, 7, 1, src)
+	netZero, err := NewCFlood(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(netZero.Bridges()) != 3 {
+		t.Errorf("0-instance has %d bridges, want 3", len(netZero.Bridges()))
+	}
+}
+
+// TestCFloodConnectedEveryRound checks the model constraint: the composed
+// network is connected in every round, for both answers, well beyond the
+// simulation horizon.
+func TestCFloodConnectedEveryRound(t *testing.T) {
+	src := rng.New(77)
+	for _, zero := range []bool{false, true} {
+		var in disjcp.Instance
+		if zero {
+			in = disjcp.RandomZero(3, 9, 2, src)
+		} else {
+			in = disjcp.RandomOne(3, 9, src)
+		}
+		net, err := NewCFlood(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r <= 3*in.Q; r++ {
+			if !net.Topology(chains.Reference, r, nil).Connected() {
+				t.Errorf("zero=%v: disconnected at round %d", zero, r)
+			}
+		}
+	}
+}
+
+// TestCFloodDiameterGap is the structural heart of Theorem 6: the network
+// has O(1) dynamic diameter when DISJOINTNESSCP = 1 and Ω(q) when it is 0.
+func TestCFloodDiameterGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diameter computation is quadratic")
+	}
+	src := rng.New(5)
+	for _, q := range []int{5, 9, 13} {
+		one := disjcp.RandomOne(2, q, src)
+		netOne, err := NewCFlood(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1 := refDiameter(t, netOne.Topology, netOne.N, 6*q)
+		if d1 > 10 {
+			t.Errorf("q=%d 1-instance: diameter %d > 10", q, d1)
+		}
+
+		zero := disjcp.RandomZero(2, q, 1, src)
+		netZero, err := NewCFlood(zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d0 := refDiameter(t, netZero.Topology, netZero.N, 8*q)
+		if d0 < (q-1)/2 {
+			t.Errorf("q=%d 0-instance: diameter %d < (q-1)/2 = %d", q, d0, (q-1)/2)
+		}
+	}
+}
+
+func refDiameter(t *testing.T, topo func(chains.Party, int, []dynet.Action) *graph.Graph, n, horizon int) int {
+	t.Helper()
+	graphs := make([]*graph.Graph, horizon)
+	for r := 1; r <= horizon; r++ {
+		graphs[r-1] = topo(chains.Reference, r, nil)
+	}
+	d, exact := dynet.DynamicDiameter(graphs)
+	if !exact {
+		t.Fatalf("diameter not certified within %d rounds (lower bound %d)", horizon, d)
+	}
+	return d
+}
+
+// TestLemma34NeighborConsistency is the randomized empirical check of
+// Lemmas 3 and 4 over the full Theorem 6 composition: for random actions
+// and every round r in [1, (q-1)/2], every node Z non-spoiled for a party
+// that receives in round r satisfies
+//
+//	(i)  every node in the symmetric difference of Z's reference
+//	     neighborhood S and simulated neighborhood S' receives in round r;
+//	(ii) every node in S' is the party's opposite special (B_Γ/B_Λ for
+//	     Alice, A_Γ/A_Λ for Bob) or non-spoiled for the party in round r-1.
+func TestLemma34NeighborConsistency(t *testing.T) {
+	src := rng.New(31337)
+	for trial := 0; trial < 20; trial++ {
+		q := []int{5, 7, 9, 11}[trial%4]
+		var in disjcp.Instance
+		if trial%2 == 0 {
+			in = disjcp.Random(3, q, src)
+		} else {
+			in = disjcp.RandomZero(3, q, 1+trial%3, src)
+		}
+		net, err := NewCFlood(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLemma34CFlood(t, net, src)
+	}
+}
+
+func checkLemma34CFlood(t *testing.T, net *CFloodNet, src *rng.Source) {
+	t.Helper()
+	specials := map[chains.Party]map[int]bool{
+		chains.Alice: {net.Gamma.B: true, net.Lambda.B: true},
+		chains.Bob:   {net.Gamma.A: true, net.Lambda.A: true},
+	}
+	for _, p := range []chains.Party{chains.Alice, chains.Bob} {
+		spoiled := net.SpoiledFrom(p)
+		for r := 1; r <= net.Horizon(); r++ {
+			actions := make([]dynet.Action, net.N)
+			for v := range actions {
+				if src.Bool() {
+					actions[v] = dynet.Send
+				}
+			}
+			ref := net.Topology(chains.Reference, r, actions)
+			sim := net.Topology(p, r, actions)
+			for z := 0; z < net.N; z++ {
+				if r >= spoiled[z] || actions[z] != dynet.Receive {
+					continue
+				}
+				refNb := neighborSet(ref, z)
+				simNb := neighborSet(sim, z)
+				for u := range symDiff(refNb, simNb) {
+					if actions[u] != dynet.Receive {
+						t.Fatalf("%v r=%d: divergent neighbor %d of non-spoiled %d is sending (x=%v y=%v)",
+							p, r, u, z, net.In.X, net.In.Y)
+					}
+				}
+				for u := range simNb {
+					if specials[p][u] {
+						continue
+					}
+					if spoiled[u] < r { // spoiled in round r-1 or earlier
+						t.Fatalf("%v r=%d: simulated neighbor %d of %d spoiled since %d (x=%v y=%v)",
+							p, r, u, z, spoiled[u], net.In.X, net.In.Y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func neighborSet(g *graph.Graph, v int) map[int]bool {
+	out := map[int]bool{}
+	g.ForEachNeighbor(v, func(u int) { out[u] = true })
+	return out
+}
+
+func symDiff(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for v := range a {
+		if !b[v] {
+			out[v] = true
+		}
+	}
+	for v := range b {
+		if !a[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func TestConsensusNetShape(t *testing.T) {
+	src := rng.New(3)
+	one := disjcp.RandomOne(2, 7, src)
+	netOne, err := NewConsensus(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := netOne.Lambda.Size()
+	if netOne.N != s || netOne.Upsilon != nil {
+		t.Errorf("1-instance: N=%d Upsilon=%v, want N=%d nil", netOne.N, netOne.Upsilon, s)
+	}
+	zero := disjcp.RandomZero(2, 7, 1, src)
+	netZero, err := NewConsensus(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netZero.N != 2*s || netZero.Upsilon == nil {
+		t.Errorf("0-instance: N=%d, want %d with Upsilon", netZero.N, 2*s)
+	}
+	// N' is within 1/3 of both possible N values, up to the O(1/S)
+	// integrality slack of rounding 4S/3.
+	for _, net := range []*ConsensusNet{netOne, netZero} {
+		relErr := math.Abs(float64(net.NPrime-net.N)) / float64(net.N)
+		if relErr > 1.0/3+1.0/float64(net.Lambda.Size()) {
+			t.Errorf("N'=%d N=%d: relative error %.4f > 1/3 + 1/S", net.NPrime, net.N, relErr)
+		}
+	}
+	// Inputs: all-0 on Λ, all-1 on Υ.
+	in0 := netZero.Inputs()
+	for v := 0; v < s; v++ {
+		if in0[v] != 0 {
+			t.Fatalf("Λ node %d has input %d", v, in0[v])
+		}
+	}
+	for v := s; v < 2*s; v++ {
+		if in0[v] != 1 {
+			t.Fatalf("Υ node %d has input %d", v, in0[v])
+		}
+	}
+}
+
+func TestConsensusConnectedEveryRound(t *testing.T) {
+	src := rng.New(21)
+	for _, zero := range []bool{false, true} {
+		var in disjcp.Instance
+		if zero {
+			in = disjcp.RandomZero(2, 9, 1, src)
+		} else {
+			in = disjcp.RandomOne(2, 9, src)
+		}
+		net, err := NewConsensus(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r <= 3*in.Q; r++ {
+			if !net.Topology(chains.Reference, r, nil).Connected() {
+				t.Errorf("zero=%v: disconnected at round %d", zero, r)
+			}
+		}
+	}
+}
+
+// TestConsensusLemma34 runs the neighbor-consistency check on the Theorem 7
+// composition, where the extra subtlety is the always-spoiled Υ subnetwork.
+func TestConsensusLemma34(t *testing.T) {
+	src := rng.New(8088)
+	for trial := 0; trial < 10; trial++ {
+		q := []int{5, 9}[trial%2]
+		var in disjcp.Instance
+		if trial%2 == 0 {
+			in = disjcp.RandomZero(3, q, 1, src)
+		} else {
+			in = disjcp.Random(3, q, src)
+		}
+		net, err := NewConsensus(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specials := map[chains.Party]map[int]bool{
+			chains.Alice: {net.Lambda.B: true},
+			chains.Bob:   {net.Lambda.A: true},
+		}
+		for _, p := range []chains.Party{chains.Alice, chains.Bob} {
+			spoiled := net.SpoiledFrom(p)
+			for r := 1; r <= net.Horizon(); r++ {
+				actions := make([]dynet.Action, net.N)
+				for v := range actions {
+					if src.Bool() {
+						actions[v] = dynet.Send
+					}
+				}
+				ref := net.Topology(chains.Reference, r, actions)
+				sim := net.Topology(p, r, actions)
+				for z := 0; z < net.N; z++ {
+					if r >= spoiled[z] || actions[z] != dynet.Receive {
+						continue
+					}
+					for u := range symDiff(neighborSet(ref, z), neighborSet(sim, z)) {
+						if actions[u] != dynet.Receive {
+							t.Fatalf("%v r=%d: divergent sending neighbor %d of %d", p, r, u, z)
+						}
+					}
+					for u := range neighborSet(sim, z) {
+						if !specials[p][u] && spoiled[u] < r {
+							t.Fatalf("%v r=%d: simulated neighbor %d of %d spoiled since %d", p, r, u, z, spoiled[u])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUpsilonChangesNByConstantFactor documents the Section 3.3 observation
+// that makes the CONSENSUS bound hold only for approximate N: the answer
+// flips the node count by a factor of 2 while N' stays within 1/3 of both.
+func TestUpsilonChangesNByConstantFactor(t *testing.T) {
+	src := rng.New(10)
+	one, _ := NewConsensus(disjcp.RandomOne(4, 9, src))
+	zero, _ := NewConsensus(disjcp.RandomZero(4, 9, 1, src))
+	if zero.N != 2*one.N {
+		t.Errorf("N(0-instance) = %d, want 2 x N(1-instance) = %d", zero.N, 2*one.N)
+	}
+	if one.NPrime != zero.NPrime {
+		t.Errorf("N' differs between answers: %d vs %d (it must not leak the answer)",
+			one.NPrime, zero.NPrime)
+	}
+}
+
+func BenchmarkCFloodTopologyRender(b *testing.B) {
+	in := disjcp.RandomZero(4, 33, 1, rng.New(1))
+	net, err := NewCFlood(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	actions := make([]dynet.Action, net.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Topology(chains.Reference, i%net.Horizon()+1, actions)
+	}
+}
+
+func BenchmarkSpoiledFrom(b *testing.B) {
+	in := disjcp.RandomZero(4, 33, 1, rng.New(1))
+	net, err := NewCFlood(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SpoiledFrom(chains.Alice)
+	}
+}

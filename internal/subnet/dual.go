@@ -1,0 +1,89 @@
+package subnet
+
+import (
+	"dyndiam/internal/adversaries"
+	"dyndiam/internal/chains"
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+)
+
+// DualView expresses the Theorem 6 composition in the dual-graph model the
+// paper names in Section 2 ("all our results and proofs also extend to the
+// dual graph model without any modification"):
+//
+//   - the reliable graph holds every edge the reference adversary never
+//     removes — the A/B-to-chain attachments, the Λ horizontal lines, the
+//     bridging edges, and (for 0-instances) the Γ line of detached middles;
+//   - every chain's top and bottom edge is an unreliable edge whose
+//     per-round presence the dual-graph chooser sets to exactly the
+//     reference adversary's schedule (including the middle-action
+//     dependence of rules 3/4).
+//
+// By construction the dual-graph adversary's round-r topology equals
+// Topology(Reference, r, actions) for every r >= 1, which the tests verify
+// — the concrete content of the paper's model-robustness remark.
+func (c *CFloodNet) DualView() dynet.Adversary {
+	reliable := graph.New(c.N)
+
+	type unreliableEdge struct {
+		chain chains.Chain
+		mid   int // the chain's middle node (rules 3/4 consult its action)
+		top   bool
+		u, v  int
+	}
+	var entries []unreliableEdge
+
+	addChain := func(ch chains.Chain, cn ChainNodes, a, b int) {
+		reliable.AddEdge(a, cn.U)
+		reliable.AddEdge(b, cn.W)
+		entries = append(entries,
+			unreliableEdge{chain: ch, mid: cn.V, top: true, u: cn.U, v: cn.V},
+			unreliableEdge{chain: ch, mid: cn.V, top: false, u: cn.V, v: cn.W},
+		)
+	}
+
+	g := c.Gamma
+	for i := range g.Groups {
+		for _, cn := range g.Groups[i] {
+			addChain(g.Chain(i), cn, g.A, g.B)
+		}
+	}
+	// The Γ line exists from round 1 on — i.e. in every round the engine
+	// executes — so it is reliable in the dual view.
+	line := g.LineMiddles()
+	for i := 0; i+1 < len(line); i++ {
+		reliable.AddEdge(line[i], line[i+1])
+	}
+
+	l := c.Lambda
+	for i := range l.Centi {
+		for j := range l.Centi[i] {
+			addChain(l.Chain(i, j), l.Centi[i][j], l.A, l.B)
+			if j+1 < len(l.Centi[i]) {
+				reliable.AddEdge(l.Centi[i][j].V, l.Centi[i][j+1].V)
+			}
+		}
+	}
+	for _, e := range c.Bridges() {
+		reliable.AddEdge(e[0], e[1])
+	}
+
+	pairs := make([][2]int, len(entries))
+	for i, en := range entries {
+		pairs[i] = [2]int{en.u, en.v}
+	}
+	chooser := func(r int, actions []dynet.Action, present []bool) {
+		for i, en := range entries {
+			mr := true
+			if _, cond := en.chain.MidActionRound(); cond && actions != nil {
+				mr = actions[en.mid] == dynet.Receive
+			}
+			if en.top {
+				present[i] = en.chain.TopEdgePresent(chains.Reference, r, mr)
+			} else {
+				present[i] = en.chain.BottomEdgePresent(chains.Reference, r, mr)
+			}
+		}
+	}
+	return adversaries.NewDual(reliable, pairs, chooser)
+}

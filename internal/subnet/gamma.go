@@ -1,0 +1,120 @@
+package subnet
+
+import (
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/graph"
+)
+
+// Gamma is a type-Γ subnetwork over global ids [Base, Base+Size).
+// Layout: A = Base, B = Base+1, then groups in index order, chains within a
+// group in order, nodes U, V, W within a chain.
+type Gamma struct {
+	In   disjcp.Instance
+	Base int
+	A, B int
+	// Groups[i][k] is the k-th chain of group i; all chains of group i
+	// carry labels (x_i, y_i).
+	Groups [][]ChainNodes
+}
+
+// GammaSize returns the node count of a type-Γ subnetwork for parameters
+// (n, q): 3n(q-1)/2 + 2.
+func GammaSize(n, q int) int { return 3*n*(q-1)/2 + 2 }
+
+// NewGamma lays out the type-Γ subnetwork for the instance starting at id
+// base.
+func NewGamma(in disjcp.Instance, base int) *Gamma {
+	m := (in.Q - 1) / 2
+	g := &Gamma{In: in, Base: base, A: base, B: base + 1}
+	next := base + 2
+	g.Groups = make([][]ChainNodes, in.N)
+	for i := 0; i < in.N; i++ {
+		g.Groups[i] = make([]ChainNodes, m)
+		for k := 0; k < m; k++ {
+			g.Groups[i][k] = ChainNodes{U: next, V: next + 1, W: next + 2}
+			next += 3
+		}
+	}
+	return g
+}
+
+// Size returns the number of nodes in the subnetwork.
+func (g *Gamma) Size() int { return GammaSize(g.In.N, g.In.Q) }
+
+// Chain returns the label chain of group i (shared by all its chains).
+func (g *Gamma) Chain(i int) chains.Chain {
+	return chains.Chain{Top: g.In.X[i], Bottom: g.In.Y[i], Q: g.In.Q}
+}
+
+// LineMiddles returns the middles of all |⁰₀ chains in deterministic order.
+// Under the reference adversary these are detached at round 1 and connected
+// into a line in exactly this order. Empty when DISJOINTNESSCP(x, y) = 1.
+func (g *Gamma) LineMiddles() []int {
+	var out []int
+	for i := range g.Groups {
+		if g.Chain(i).IsZeroZero() {
+			for _, cn := range g.Groups[i] {
+				out = append(out, cn.V)
+			}
+		}
+	}
+	return out
+}
+
+// LineEnd returns the line end L_Γ used as a bridging endpoint when
+// DISJOINTNESSCP(x, y) = 0 (the last middle in LineMiddles order), and
+// whether a line exists.
+func (g *Gamma) LineEnd() (int, bool) {
+	line := g.LineMiddles()
+	if len(line) == 0 {
+		return 0, false
+	}
+	return line[len(line)-1], true
+}
+
+// AddEdges inserts the subnetwork's round-r edges under party p into dst.
+func (g *Gamma) AddEdges(dst *graph.Graph, p chains.Party, r int, mid midReceivesFn) {
+	for i := range g.Groups {
+		c := g.Chain(i)
+		for _, cn := range g.Groups[i] {
+			addChainEdges(dst, p, r, c, cn, g.A, g.B, mid)
+		}
+	}
+	// Rule 5, reference only: from round 1 the |⁰₀ middles form a line.
+	// Alice's and Bob's adversaries never include it — the line's nodes
+	// are spoiled for both from round 1.
+	if p == chains.Reference && r >= 1 {
+		line := g.LineMiddles()
+		for i := 0; i+1 < len(line); i++ {
+			dst.AddEdge(line[i], line[i+1])
+		}
+	}
+}
+
+// SpoiledFrom fills dst (indexed by global id, pre-initialized to Never)
+// with the first round each Γ node is spoiled for party p. B_Γ is spoiled
+// for Alice from round 1 and A_Γ for Bob, per Section 4.
+func (g *Gamma) SpoiledFrom(dst []int, p chains.Party) {
+	switch p {
+	case chains.Alice:
+		dst[g.B] = 1
+	case chains.Bob:
+		dst[g.A] = 1
+	}
+	for i := range g.Groups {
+		c := g.Chain(i)
+		for _, cn := range g.Groups[i] {
+			markSpoiled(dst, p, c, cn)
+		}
+	}
+}
+
+// Nodes returns all global ids of the subnetwork.
+func (g *Gamma) Nodes() []int {
+	out := make([]int, 0, g.Size())
+	for v := g.Base; v < g.Base+g.Size(); v++ {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package subnet
+
+import (
+	"sort"
+	"testing"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/graph"
+)
+
+// figure1 returns the paper's Figure 1 instance: n = 4, q = 5, x = 3110,
+// y = 2200.
+func figure1(t *testing.T) disjcp.Instance {
+	t.Helper()
+	in, err := disjcp.FromStrings("3110", "2200", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestGammaLayout(t *testing.T) {
+	in := figure1(t)
+	g := NewGamma(in, 0)
+	if g.Size() != GammaSize(4, 5) || g.Size() != 26 {
+		t.Fatalf("Size = %d, want 26", g.Size())
+	}
+	if g.A != 0 || g.B != 1 {
+		t.Fatalf("specials A=%d B=%d, want 0, 1", g.A, g.B)
+	}
+	// 4 groups x (q-1)/2 = 2 chains x 3 nodes, contiguous after specials.
+	seen := map[int]bool{0: true, 1: true}
+	for i := range g.Groups {
+		if len(g.Groups[i]) != 2 {
+			t.Fatalf("group %d has %d chains, want 2", i, len(g.Groups[i]))
+		}
+		for _, cn := range g.Groups[i] {
+			for _, v := range []int{cn.U, cn.V, cn.W} {
+				if seen[v] {
+					t.Fatalf("node %d assigned twice", v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+	if len(seen) != g.Size() {
+		t.Fatalf("assigned %d ids, want %d", len(seen), g.Size())
+	}
+}
+
+func TestGammaLineMiddles(t *testing.T) {
+	in := figure1(t)
+	g := NewGamma(in, 0)
+	line := g.LineMiddles()
+	// Only group 3 is (0, 0); it contributes (q-1)/2 = 2 middles.
+	if len(line) != 2 {
+		t.Fatalf("LineMiddles = %v, want 2 middles", line)
+	}
+	for _, v := range line {
+		found := false
+		for _, cn := range g.Groups[3] {
+			if cn.V == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("line middle %d is not a group-3 middle", v)
+		}
+	}
+	end, ok := g.LineEnd()
+	if !ok || end != line[len(line)-1] {
+		t.Errorf("LineEnd = %d, %v; want %d, true", end, ok, line[len(line)-1])
+	}
+}
+
+func TestGammaFigure1RoundSchedule(t *testing.T) {
+	// Figure 1 (all middles receiving): round-by-round edge status per
+	// group under the three adversaries.
+	in := figure1(t)
+	net, err := NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Gamma
+	type want struct {
+		party       chains.Party
+		round       int
+		group       int
+		top, bottom bool
+	}
+	cases := []want{
+		// Group 3 is |⁰₀: reference removes both at round 1; Alice
+		// removes only the top (she cannot see the bottom labels);
+		// Bob removes only the bottom.
+		{chains.Reference, 1, 3, false, false},
+		{chains.Alice, 1, 3, false, true},
+		{chains.Bob, 1, 3, true, false},
+		// Group 2 is |¹₀: Bob (bottom 0 = 2t, t=0) removes the bottom
+		// at round 1; the reference (rule 4, middles receiving) waits
+		// until round 2; Alice (top 1 = 2t+1, t=0) removes at round 2.
+		{chains.Reference, 1, 2, true, true},
+		{chains.Bob, 1, 2, true, false},
+		{chains.Alice, 1, 2, true, true},
+		{chains.Reference, 2, 2, true, false},
+		{chains.Alice, 2, 2, true, false},
+		// Group 1 is |¹₂: rule 2 (t=1): bottom removed at round 2 by
+		// everyone (all three adversaries agree on this form).
+		{chains.Reference, 1, 1, true, true},
+		{chains.Reference, 2, 1, true, false},
+		{chains.Alice, 2, 1, true, false},
+		{chains.Bob, 2, 1, true, false},
+		// Group 0 is |³₂: rule 4 (t=1): reference removes the bottom at
+		// round 3 (middles receiving); Alice at round 3; Bob (bottom
+		// 2 = 2t, t=1) at round 2.
+		{chains.Reference, 2, 0, true, true},
+		{chains.Bob, 2, 0, true, false},
+		{chains.Alice, 2, 0, true, true},
+	}
+	for _, c := range cases {
+		topo := net.Topology(c.party, c.round, nil)
+		cn := g.Groups[c.group][0]
+		if got := topo.HasEdge(cn.U, cn.V); got != c.top {
+			t.Errorf("%v round %d group %d: top edge = %v, want %v", c.party, c.round, c.group, got, c.top)
+		}
+		if got := topo.HasEdge(cn.V, cn.W); got != c.bottom {
+			t.Errorf("%v round %d group %d: bottom edge = %v, want %v", c.party, c.round, c.group, got, c.bottom)
+		}
+	}
+}
+
+func TestGammaLineAppearsOnlyForReference(t *testing.T) {
+	in := figure1(t)
+	net, err := NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := net.Gamma.LineMiddles()
+	refTopo := net.Topology(chains.Reference, 1, nil)
+	if !refTopo.HasEdge(line[0], line[1]) {
+		t.Error("reference round 1: line edge missing")
+	}
+	for _, p := range []chains.Party{chains.Alice, chains.Bob} {
+		topo := net.Topology(p, 1, nil)
+		if topo.HasEdge(line[0], line[1]) {
+			t.Errorf("%v sees the Γ line", p)
+		}
+	}
+	// Round 0: no line yet.
+	if net.Topology(chains.Reference, 0, nil).HasEdge(line[0], line[1]) {
+		t.Error("line present at round 0")
+	}
+}
+
+func TestGammaSpecialEdgesPermanent(t *testing.T) {
+	in := figure1(t)
+	g := NewGamma(in, 0)
+	for r := 0; r < 10; r++ {
+		topo := graph.New(g.Size())
+		g.AddEdges(topo, chains.Reference, r, nil)
+		for i := range g.Groups {
+			for _, cn := range g.Groups[i] {
+				if !topo.HasEdge(g.A, cn.U) {
+					t.Fatalf("round %d: A-U edge missing", r)
+				}
+				if !topo.HasEdge(g.B, cn.W) {
+					t.Fatalf("round %d: B-W edge missing", r)
+				}
+			}
+		}
+	}
+}
+
+func TestGammaSpoiled(t *testing.T) {
+	in := figure1(t)
+	net, err := NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Gamma
+	sa := net.SpoiledFrom(chains.Alice)
+	sb := net.SpoiledFrom(chains.Bob)
+	sr := net.SpoiledFrom(chains.Reference)
+	if sa[g.B] != 1 || sa[g.A] != Never {
+		t.Errorf("Alice: B_Γ spoiled from %d (want 1), A_Γ from %d (want Never)", sa[g.B], sa[g.A])
+	}
+	if sb[g.A] != 1 || sb[g.B] != Never {
+		t.Errorf("Bob: A_Γ spoiled from %d (want 1), B_Γ from %d (want Never)", sb[g.A], sb[g.B])
+	}
+	for v := range sr {
+		if sr[v] != Never {
+			t.Fatalf("reference: node %d spoiled", v)
+		}
+	}
+	// Line middles (group 3, x=y=0): spoiled from round 1 for both.
+	for _, v := range g.LineMiddles() {
+		if sa[v] != 1 || sb[v] != 1 {
+			t.Errorf("line middle %d: spoiled (alice %d, bob %d), want 1, 1", v, sa[v], sb[v])
+		}
+	}
+	// Group 0 (x=3 odd): W spoiled for Alice from round (3-1)/2+1 = 2;
+	// U and V never.
+	cn := g.Groups[0][0]
+	if sa[cn.W] != 2 || sa[cn.V] != Never || sa[cn.U] != Never {
+		t.Errorf("group 0 Alice spoils = U %d V %d W %d, want Never Never 2",
+			sa[cn.U], sa[cn.V], sa[cn.W])
+	}
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

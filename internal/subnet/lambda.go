@@ -1,0 +1,115 @@
+package subnet
+
+import (
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/graph"
+)
+
+// Lambda is a type-Λ subnetwork over global ids [Base, Base+Size). The same
+// type doubles as the type-Υ subnetwork (Section 5): Υ is a Λ whose nodes
+// are always spoiled for both parties and which exists only when
+// DISJOINTNESSCP(x, y) = 0.
+//
+// Layout: A = Base, B = Base+1, then centipedes in index order, chains
+// within a centipede in order, nodes U, V, W within a chain. The middles of
+// a centipede's chains form a permanent horizontal line.
+type Lambda struct {
+	In   disjcp.Instance
+	Base int
+	A, B int
+	// Centi[i][j] is the j-th chain (0-based) of centipede i, with labels
+	// (min(x_i+2j, q-1), min(y_i+2j, q-1)).
+	Centi [][]ChainNodes
+}
+
+// LambdaSize returns the node count of a type-Λ subnetwork for parameters
+// (n, q): 3n(q+1)/2 + 2.
+func LambdaSize(n, q int) int { return 3*n*(q+1)/2 + 2 }
+
+// NewLambda lays out the type-Λ subnetwork for the instance starting at id
+// base.
+func NewLambda(in disjcp.Instance, base int) *Lambda {
+	m := (in.Q + 1) / 2
+	l := &Lambda{In: in, Base: base, A: base, B: base + 1}
+	next := base + 2
+	l.Centi = make([][]ChainNodes, in.N)
+	for i := 0; i < in.N; i++ {
+		l.Centi[i] = make([]ChainNodes, m)
+		for j := 0; j < m; j++ {
+			l.Centi[i][j] = ChainNodes{U: next, V: next + 1, W: next + 2}
+			next += 3
+		}
+	}
+	return l
+}
+
+// Size returns the number of nodes in the subnetwork.
+func (l *Lambda) Size() int { return LambdaSize(l.In.N, l.In.Q) }
+
+// Chain returns the label chain of chain j (0-based) in centipede i:
+// labels (min(x_i+2j, q-1), min(y_i+2j, q-1)), per Section 5 (with the
+// paper's 1-based j, min(x_i+2j-2, q-1)).
+func (l *Lambda) Chain(i, j int) chains.Chain {
+	q := l.In.Q
+	top := l.In.X[i] + 2*j
+	if top > q-1 {
+		top = q - 1
+	}
+	bottom := l.In.Y[i] + 2*j
+	if bottom > q-1 {
+		bottom = q - 1
+	}
+	return chains.Chain{Top: top, Bottom: bottom, Q: q}
+}
+
+// MountingPoints returns the middles of all |⁰₀ chains — one per centipede
+// whose index i has (x_i, y_i) = (0, 0). Empty iff DISJOINTNESSCP(x, y) = 1.
+func (l *Lambda) MountingPoints() []int {
+	var out []int
+	for i := range l.Centi {
+		if l.Chain(i, 0).IsZeroZero() {
+			out = append(out, l.Centi[i][0].V)
+		}
+	}
+	return out
+}
+
+// AddEdges inserts the subnetwork's round-r edges under party p into dst.
+// The horizontal centipede lines are permanent; the vertical chain edges
+// follow the removal rules (with rule 5 replaced by the Λ-cascade rule 5').
+func (l *Lambda) AddEdges(dst *graph.Graph, p chains.Party, r int, mid midReceivesFn) {
+	for i := range l.Centi {
+		for j := range l.Centi[i] {
+			addChainEdges(dst, p, r, l.Chain(i, j), l.Centi[i][j], l.A, l.B, mid)
+			if j+1 < len(l.Centi[i]) {
+				dst.AddEdge(l.Centi[i][j].V, l.Centi[i][j+1].V)
+			}
+		}
+	}
+}
+
+// SpoiledFrom fills dst with the first round each Λ node is spoiled for
+// party p (same rules as type-Γ, with A_Λ/B_Λ in place of A_Γ/B_Γ).
+func (l *Lambda) SpoiledFrom(dst []int, p chains.Party) {
+	switch p {
+	case chains.Alice:
+		dst[l.B] = 1
+	case chains.Bob:
+		dst[l.A] = 1
+	}
+	for i := range l.Centi {
+		for j := range l.Centi[i] {
+			markSpoiled(dst, p, l.Chain(i, j), l.Centi[i][j])
+		}
+	}
+}
+
+// Nodes returns all global ids of the subnetwork.
+func (l *Lambda) Nodes() []int {
+	out := make([]int, 0, l.Size())
+	for v := l.Base; v < l.Base+l.Size(); v++ {
+		out = append(out, v)
+	}
+	return out
+}

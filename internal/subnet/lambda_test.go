@@ -1,0 +1,203 @@
+package subnet
+
+import (
+	"testing"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/graph"
+)
+
+// figure2Instance gives one centipede with x_i = y_i = 0 at q = 7
+// (Figure 2) and figure3Instance one with x_i = 2, y_i = 3 (Figure 3).
+func lambdaFor(t *testing.T, x, y string, q int) *Lambda {
+	t.Helper()
+	in, err := disjcp.FromStrings(x, y, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLambda(in, 0)
+}
+
+func TestLambdaLayoutAndLabels(t *testing.T) {
+	l := lambdaFor(t, "0", "0", 7)
+	if l.Size() != LambdaSize(1, 7) || l.Size() != 14 {
+		t.Fatalf("Size = %d, want 14", l.Size())
+	}
+	// Chains of the (0,0) centipede carry labels (0,0), (2,2), (4,4), (6,6).
+	wantLabels := [][2]int{{0, 0}, {2, 2}, {4, 4}, {6, 6}}
+	for j, want := range wantLabels {
+		c := l.Chain(0, j)
+		if c.Top != want[0] || c.Bottom != want[1] {
+			t.Errorf("chain %d labels = (%d, %d), want (%d, %d)", j, c.Top, c.Bottom, want[0], want[1])
+		}
+	}
+}
+
+func TestLambdaFigure3Labels(t *testing.T) {
+	l := lambdaFor(t, "2", "3", 7)
+	// x=2, y=3 at q=7: labels (2,3), (4,5), (6,6), (6,6).
+	wantLabels := [][2]int{{2, 3}, {4, 5}, {6, 6}, {6, 6}}
+	for j, want := range wantLabels {
+		c := l.Chain(0, j)
+		if c.Top != want[0] || c.Bottom != want[1] {
+			t.Errorf("chain %d labels = (%d, %d), want (%d, %d)", j, c.Top, c.Bottom, want[0], want[1])
+		}
+	}
+	if len(l.MountingPoints()) != 0 {
+		t.Error("non-zero centipede must have no mounting point")
+	}
+}
+
+func TestLambdaFigure2Cascade(t *testing.T) {
+	// Figure 2: the (0,0) centipede's chains are removed in a cascade:
+	// chain j (labels (2j, 2j)) loses both edges at round j+1; the final
+	// |⁶₆ chain is untouched.
+	l := lambdaFor(t, "0", "0", 7)
+	for r := 0; r <= 4; r++ {
+		topo := graph.New(l.Size())
+		l.AddEdges(topo, chains.Reference, r, nil)
+		for j := 0; j < 4; j++ {
+			cn := l.Centi[0][j]
+			wantPresent := j == 3 || r < j+1
+			if topo.HasEdge(cn.U, cn.V) != wantPresent || topo.HasEdge(cn.V, cn.W) != wantPresent {
+				t.Errorf("round %d chain %d: edges present=(%v,%v), want %v",
+					r, j, topo.HasEdge(cn.U, cn.V), topo.HasEdge(cn.V, cn.W), wantPresent)
+			}
+			// Horizontal line edges are permanent.
+			if j+1 < 4 && !topo.HasEdge(cn.V, l.Centi[0][j+1].V) {
+				t.Errorf("round %d: horizontal edge %d-%d missing", r, j, j+1)
+			}
+		}
+	}
+}
+
+func TestLambdaMountingPoint(t *testing.T) {
+	l := lambdaFor(t, "0", "0", 7)
+	mounts := l.MountingPoints()
+	if len(mounts) != 1 || mounts[0] != l.Centi[0][0].V {
+		t.Fatalf("MountingPoints = %v, want [%d]", mounts, l.Centi[0][0].V)
+	}
+}
+
+// TestMountingPointInfluenceDelay verifies the Section 5 claim that a
+// mounting point takes Ω(q) rounds to causally affect the rest of the
+// subnetwork: the cascade always removes a chain one round before the
+// mounting point's influence arrives.
+func TestMountingPointInfluenceDelay(t *testing.T) {
+	for _, q := range []int{7, 11, 15} {
+		in, err := disjcp.FromStrings("0", "0", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := NewLambda(in, 0)
+		mount := l.MountingPoints()[0]
+		// Influence propagation from the mounting point at time 0.
+		influenced := map[int]bool{mount: true}
+		horizon := (q - 1) / 2
+		reachedSpecialAt := -1
+		for r := 1; r <= horizon; r++ {
+			topo := graph.New(l.Size())
+			l.AddEdges(topo, chains.Reference, r, nil)
+			next := map[int]bool{}
+			for v := range influenced {
+				next[v] = true
+				topo.ForEachNeighbor(v, func(u int) { next[u] = true })
+			}
+			influenced = next
+			if (influenced[l.A] || influenced[l.B]) && reachedSpecialAt == -1 {
+				reachedSpecialAt = r
+			}
+		}
+		if reachedSpecialAt != -1 {
+			t.Errorf("q=%d: mounting point influenced A/B at round %d <= horizon %d",
+				q, reachedSpecialAt, horizon)
+		}
+	}
+}
+
+// TestSimultaneousRemovalWouldSpoilEarly is the ablation the paper discusses
+// in Section 5: if the cascade is replaced by removing all |²ᵗ_2t chains at
+// round 1, a middle node's influence escapes to A_Λ quickly, which would
+// break Lemma 4. We verify the escape is possible under the broken schedule
+// and impossible under the cascade.
+func TestSimultaneousRemovalWouldSpoilEarly(t *testing.T) {
+	const q = 11
+	in, err := disjcp.FromStrings("0", "0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLambda(in, 0)
+	horizon := (q - 1) / 2
+
+	// Broken schedule: every equal-label chain except the final
+	// |^(q-1)_(q-1) is removed at round 1. A middle that sits next to the
+	// surviving chain is then spoiled (its chain is gone, so neither
+	// party can simulate it) yet its influence reaches A_Λ in ~3 rounds
+	// via the permanent horizontal line — well within the horizon. Under
+	// the paper's cascade the same escape is impossible: removals always
+	// outrun influence by one round.
+	escape := func(start int, simultaneous bool) int {
+		influenced := map[int]bool{start: true}
+		for r := 1; r <= 4*q; r++ {
+			topo := graph.New(l.Size())
+			if simultaneous {
+				// Rebuild with every non-final equal chain removed.
+				addLambdaSimultaneous(l, topo, r)
+			} else {
+				l.AddEdges(topo, chains.Reference, r, nil)
+			}
+			next := map[int]bool{}
+			for v := range influenced {
+				next[v] = true
+				topo.ForEachNeighbor(v, func(u int) { next[u] = true })
+			}
+			influenced = next
+			if influenced[l.A] {
+				return r
+			}
+		}
+		return -1
+	}
+	// The second-to-last chain's middle: one line-hop from the surviving
+	// |^(q-1)_(q-1) chain, so its influence escapes in ~3 rounds once its
+	// own chain is gone.
+	midLate := l.Centi[0][len(l.Centi[0])-2].V
+	brokenEscape := escape(midLate, true)
+	cascadeEscape := escape(l.MountingPoints()[0], false)
+	if brokenEscape == -1 || cascadeEscape == -1 {
+		t.Fatalf("escapes never happened: broken=%d cascade=%d", brokenEscape, cascadeEscape)
+	}
+	if brokenEscape > horizon {
+		t.Errorf("simultaneous removal: |⁴₄ middle escaped at %d, expected within horizon %d",
+			brokenEscape, horizon)
+	}
+	if cascadeEscape <= horizon {
+		t.Errorf("cascade: mounting point escaped at %d <= horizon %d", cascadeEscape, horizon)
+	}
+}
+
+// addLambdaSimultaneous renders the broken "remove everything at round 1"
+// variant used by the ablation test above.
+func addLambdaSimultaneous(l *Lambda, dst *graph.Graph, r int) {
+	for i := range l.Centi {
+		for j := range l.Centi[i] {
+			c := l.Chain(i, j)
+			cn := l.Centi[i][j]
+			dst.AddEdge(l.A, cn.U)
+			dst.AddEdge(l.B, cn.W)
+			removed := c.Top == c.Bottom && c.Top != c.Q-1 && r >= 1
+			if !removed {
+				if c.TopEdgePresent(chains.Reference, r, true) {
+					dst.AddEdge(cn.U, cn.V)
+				}
+				if c.BottomEdgePresent(chains.Reference, r, true) {
+					dst.AddEdge(cn.V, cn.W)
+				}
+			}
+			if j+1 < len(l.Centi[i]) {
+				dst.AddEdge(cn.V, l.Centi[i][j+1].V)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package subnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/rng"
+)
+
+// TestCFloodLayoutIsPartition: every global id in [0, N) belongs to exactly
+// one structural role (special, chain node), for random instances.
+func TestCFloodLayoutIsPartition(t *testing.T) {
+	f := func(seed uint64, nRaw, qRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		q := 2*int(qRaw%6) + 5
+		in := disjcp.Random(n, q, rng.New(seed))
+		net, err := NewCFlood(in)
+		if err != nil {
+			return false
+		}
+		seen := make([]int, net.N)
+		mark := func(v int) {
+			seen[v]++
+		}
+		mark(net.Gamma.A)
+		mark(net.Gamma.B)
+		for i := range net.Gamma.Groups {
+			for _, cn := range net.Gamma.Groups[i] {
+				mark(cn.U)
+				mark(cn.V)
+				mark(cn.W)
+			}
+		}
+		mark(net.Lambda.A)
+		mark(net.Lambda.B)
+		for i := range net.Lambda.Centi {
+			for _, cn := range net.Lambda.Centi[i] {
+				mark(cn.U)
+				mark(cn.V)
+				mark(cn.W)
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopologyVertexCountStable: every party's rendering spans the full id
+// space in every round (edges differ; the vertex set never does).
+func TestTopologyVertexCountStable(t *testing.T) {
+	src := rng.New(12)
+	in := disjcp.RandomZero(2, 9, 1, src)
+	net, err := NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []chains.Party{chains.Reference, chains.Alice, chains.Bob} {
+		for r := 0; r <= 2*in.Q; r++ {
+			if got := net.Topology(p, r, nil).N(); got != net.N {
+				t.Fatalf("party %v round %d: %d vertices, want %d", p, r, got, net.N)
+			}
+		}
+	}
+}
+
+// TestSpoiledTimesBounded: spoiled-from values are either Never, 0 (Υ), or
+// within [1, (q+1)/2 + 1] — nothing spoils later than one round past the
+// horizon (labels cap at q-1).
+func TestSpoiledTimesBounded(t *testing.T) {
+	f := func(seed uint64, qRaw uint8) bool {
+		q := 2*int(qRaw%6) + 5
+		in := disjcp.Random(2, q, rng.New(seed))
+		net, err := NewCFlood(in)
+		if err != nil {
+			return false
+		}
+		for _, p := range []chains.Party{chains.Alice, chains.Bob} {
+			for _, s := range net.SpoiledFrom(p) {
+				if s == Never {
+					continue
+				}
+				if s < 1 || s > (q+1)/2+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOneInstancesHaveNoSpecialStructure: for answer-1 instances, the Γ
+// subnetwork has no line and the Λ subnetwork no mounting points — and the
+// converse for answer-0 instances.
+func TestOneInstancesHaveNoSpecialStructure(t *testing.T) {
+	f := func(seed uint64, qRaw uint8, zero bool) bool {
+		q := 2*int(qRaw%6) + 5
+		src := rng.New(seed)
+		var in disjcp.Instance
+		if zero {
+			in = disjcp.RandomZero(3, q, 1, src)
+		} else {
+			in = disjcp.RandomOne(3, q, src)
+		}
+		net, err := NewCFlood(in)
+		if err != nil {
+			return false
+		}
+		hasLine := len(net.Gamma.LineMiddles()) > 0
+		hasMount := len(net.Lambda.MountingPoints()) > 0
+		if zero {
+			// One (0,0) index yields (q-1)/2 line middles and one mount.
+			return hasLine && hasMount && len(net.Gamma.LineMiddles()) >= (q-1)/2
+		}
+		return !hasLine && !hasMount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNonSpoiledNodesKeepHubAttachment: at every round within the horizon,
+// every node that is non-spoiled for Alice remains connected (in Alice's
+// topology) to one of her always-known specials A_Γ/A_Λ through non-spoiled
+// nodes only — the structural fact that makes her partial simulation a
+// connected, self-contained computation.
+func TestNonSpoiledNodesKeepHubAttachment(t *testing.T) {
+	src := rng.New(9)
+	for trial := 0; trial < 10; trial++ {
+		q := []int{5, 9, 13}[trial%3]
+		in := disjcp.Random(2, q, src)
+		net, err := NewCFlood(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spoiled := net.SpoiledFrom(chains.Alice)
+		for r := 1; r <= net.Horizon(); r++ {
+			topo := net.Topology(chains.Alice, r, nil)
+			// BFS from the A-specials through non-spoiled nodes.
+			reach := map[int]bool{net.Gamma.A: true, net.Lambda.A: true}
+			queue := []int{net.Gamma.A, net.Lambda.A}
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				topo.ForEachNeighbor(v, func(u int) {
+					if !reach[u] && r < spoiled[u] {
+						reach[u] = true
+						queue = append(queue, u)
+					}
+				})
+			}
+			for v := 0; v < net.N; v++ {
+				if r < spoiled[v] && v != net.Gamma.B && v != net.Lambda.B && !reach[v] {
+					t.Fatalf("q=%d r=%d: non-spoiled node %d unreachable from A-specials (x=%v y=%v)",
+						q, r, v, in.X, in.Y)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package subnet builds the paper's three subnetwork types and their
+// compositions (Sections 3-6):
+//
+//   - Type-Γ (gamma.go): n groups of (q-1)/2 three-node chains between the
+//     special nodes A_Γ and B_Γ; group i's chains carry labels (x_i, y_i).
+//     When DISJOINTNESSCP(x, y) = 0, the |⁰₀ chains' middles are detached at
+//     round 1 and arranged into a line of Ω(q) nodes.
+//   - Type-Λ (lambda.go): n centipede structures of (q+1)/2 chains whose
+//     middles form a horizontal line; chain j of centipede i carries labels
+//     (min(x_i+2j, q-1), min(y_i+2j, q-1)) (j zero-based). The middles of
+//     |⁰₀ chains are mounting points, protected by cascading edge removals.
+//   - Type-Υ: a second type-Λ subnetwork that exists only when
+//     DISJOINTNESSCP(x, y) = 0 and is empty otherwise; its nodes are always
+//     spoiled for both parties.
+//
+// Compositions (compose.go) join subnetworks with fixed bridging edge sets,
+// yielding the dynamic networks behind Theorem 6 (Γ+Λ, for CFLOOD) and
+// Theorem 7 (Λ+Υ, for CONSENSUS). Every part can be rendered under any of
+// the three adversaries of package chains, and the per-node spoiled-from
+// schedules of the lower-bound proofs are exposed for the two-party
+// simulation harness and its referee.
+package subnet
+
+import (
+	"dyndiam/internal/chains"
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+)
+
+// ChainNodes are the global ids of one chain's three nodes, top to bottom.
+type ChainNodes struct {
+	U, V, W int
+}
+
+// Never re-exports chains.Never: the "not within any horizon" round.
+const Never = chains.Never
+
+// midReceivesFn answers whether node v receives in the current round; the
+// reference adversary consults it for rules 3/4. A nil function defaults to
+// "receiving", the canonical choice used when rendering topologies outside
+// a protocol execution (e.g. for diameter measurement of the figures).
+type midReceivesFn func(v int) bool
+
+func midRecv(actions []dynet.Action) midReceivesFn {
+	if actions == nil {
+		return nil
+	}
+	return func(v int) bool { return actions[v] == dynet.Receive }
+}
+
+func (f midReceivesFn) at(v int) bool {
+	if f == nil {
+		return true
+	}
+	return f(v)
+}
+
+// markSpoiled records chain-node spoiled times into dst (a slice over the
+// global id space, initialized to Never).
+func markSpoiled(dst []int, p chains.Party, c chains.Chain, nodes ChainNodes) {
+	u, v, w := c.SpoiledFrom(p)
+	if u < dst[nodes.U] {
+		dst[nodes.U] = u
+	}
+	if v < dst[nodes.V] {
+		dst[nodes.V] = v
+	}
+	if w < dst[nodes.W] {
+		dst[nodes.W] = w
+	}
+}
+
+// addChainEdges inserts the surviving intra-chain edges of one chain for
+// round r under party p, plus the permanent edges to the subnetwork's
+// special nodes A (top) and B (bottom).
+func addChainEdges(dst *graph.Graph, p chains.Party, r int, c chains.Chain, nodes ChainNodes, a, b int, mid midReceivesFn) {
+	dst.AddEdge(a, nodes.U)
+	dst.AddEdge(b, nodes.W)
+	mr := true
+	if _, cond := c.MidActionRound(); cond {
+		mr = mid.at(nodes.V)
+	}
+	if c.TopEdgePresent(p, r, mr) {
+		dst.AddEdge(nodes.U, nodes.V)
+	}
+	if c.BottomEdgePresent(p, r, mr) {
+		dst.AddEdge(nodes.V, nodes.W)
+	}
+}

@@ -1,0 +1,106 @@
+package twoparty
+
+import (
+	"testing"
+
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/protocols/flood"
+	"dyndiam/internal/rng"
+	"dyndiam/internal/subnet"
+)
+
+// TestReductionDeterministic: identical setups (same public coins) produce
+// identical claims and bit counts — the property that makes every
+// experiment in this repository reproducible from its seed.
+func TestReductionDeterministic(t *testing.T) {
+	in := disjcp.RandomZero(2, 21, 1, rng.New(4))
+	net, err := subnet.NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		setup := FromCFlood(net, flood.CFlood{}, 77, map[string]int64{flood.ExtraD: 10})
+		res, err := Run(setup, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Claim != b.Claim || a.BitsAliceToBob != b.BitsAliceToBob || a.BitsBobToAlice != b.BitsBobToAlice {
+		t.Fatalf("nondeterministic reduction: %+v vs %+v", a, b)
+	}
+}
+
+// TestRefereeAgnosticToRefereeing: running with and without the referee
+// must not change the two-party outcome (the referee only observes).
+func TestRefereeAgnosticToRefereeing(t *testing.T) {
+	in := disjcp.RandomOne(2, 17, rng.New(8))
+	net, err := subnet.NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := FromCFlood(net, flood.CFlood{}, 5, map[string]int64{flood.ExtraD: 10})
+	with, err := Run(setup, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(setup, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Claim != without.Claim ||
+		with.BitsAliceToBob != without.BitsAliceToBob ||
+		with.BitsBobToAlice != without.BitsBobToAlice {
+		t.Fatalf("referee changed the outcome: %+v vs %+v", with, without)
+	}
+}
+
+// TestLemma5AcrossSeeds runs the referee over many seeds on one instance —
+// coin-flip coverage for the simulation soundness claim.
+func TestLemma5AcrossSeeds(t *testing.T) {
+	in := disjcp.RandomZero(2, 13, 1, rng.New(2))
+	net, err := subnet.NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		setup := FromCFlood(net, flood.PFlood{}, seed, map[string]int64{
+			flood.ExtraRounds: 1 << 20, // never confirm; pure gossip dynamics
+		})
+		res, err := Run(setup, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.LemmaViolations) != 0 {
+			t.Fatalf("seed %d: %v", seed, res.LemmaViolations[0])
+		}
+	}
+}
+
+// TestLemma5WithJunkOracle: the simulation soundness machinery is fully
+// protocol-agnostic — even an "oracle" that sends coin-driven random bytes
+// (dynet.JunkProtocol) is simulated exactly: its per-node behavior is a
+// deterministic function of public coins and deliveries, which is all
+// Lemma 5 needs.
+func TestLemma5WithJunkOracle(t *testing.T) {
+	in := disjcp.RandomZero(2, 13, 1, rng.New(6))
+	net, err := subnet.NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		setup := FromCFlood(net, dynet.JunkProtocol{}, seed, nil)
+		res, err := Run(setup, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.LemmaViolations) != 0 {
+			t.Fatalf("seed %d: %v", seed, res.LemmaViolations[0])
+		}
+		if res.Claim {
+			t.Error("junk oracle cannot decide (its machines never output)")
+		}
+	}
+}

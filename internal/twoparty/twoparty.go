@@ -1,0 +1,403 @@
+// Package twoparty implements the paper's reduction harness (Sections 3
+// and 6): Alice and Bob solve a DISJOINTNESSCP instance by jointly
+// simulating an oracle protocol over a composed dynamic network, exchanging
+// only the messages of the special nodes (A_Γ/A_Λ from Alice, B_Γ/B_Λ from
+// Bob) and counting every bit.
+//
+// Each party simulates exactly the nodes that are non-spoiled for it, under
+// its own simulated adversary, per the induction of Lemma 5:
+//
+//   - A node is stepped in round r iff r <= spoiledFrom(node): a node
+//     spoiled from round r is stepped one last time in round r, because a
+//     node that is non-spoiled in round r-1 may still have to *send* in
+//     round r (its state through r-1 is known exactly).
+//   - A node is delivered to in round r iff r < spoiledFrom(node): its
+//     incoming messages are the round-r messages of the senders among its
+//     neighbors under the party's simulated adversary; Lemma 3/4 guarantee
+//     each such sender is either the opposite special (whose message was
+//     forwarded) or was non-spoiled in round r-1 (so the party computed its
+//     message itself).
+//
+// The optional referee runs the true execution under the reference
+// adversary with the same public coins and verifies, round by round, that
+// every non-spoiled node's action, outgoing message, and inbox in the
+// party simulation are identical to the reference — the empirical content
+// of Lemma 5 (experiment E7 in DESIGN.md).
+package twoparty
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/rng"
+	"dyndiam/internal/subnet"
+)
+
+// Setup describes one reduction run. Use FromCFlood or FromConsensus to
+// build one from a composition network.
+type Setup struct {
+	// ActualN is the reference network's node count; node ids are
+	// [0, ActualN).
+	ActualN int
+	// CfgN is the id-space size handed to machines as Config.N (the
+	// protocol's public knowledge; for the consensus composition this is
+	// the potential 2S, since the true N depends on the answer).
+	CfgN int
+	// Horizon is the number of rounds to simulate: (q-1)/2.
+	Horizon int
+	// Topology renders the network under a party's adversary.
+	Topology func(p chains.Party, r int, actions []dynet.Action) *graph.Graph
+	// Spoiled[party][v] is the first round from whose beginning v is
+	// spoiled for the party (subnet.Never if never).
+	Spoiled map[chains.Party][]int
+	// Forward[party] lists the special nodes whose outgoing messages the
+	// party forwards to the other party.
+	Forward map[chains.Party][]int
+	// Inputs holds the construction-determined node inputs. Entries for
+	// nodes spoiled from round 0 (the Υ subnetwork) are known only to
+	// the reference execution.
+	Inputs []int64
+	// DecisionNode is the node Alice monitors (A_Γ for CFLOOD, A_Λ for
+	// CONSENSUS): the claim is 1 iff it has output by the horizon.
+	DecisionNode int
+
+	Oracle dynet.Protocol
+	Extra  map[string]int64
+	Seed   uint64
+}
+
+// Result reports one reduction run.
+type Result struct {
+	// Claim is Alice's DISJOINTNESSCP answer: 1 iff the decision node
+	// output by the horizon in her simulation.
+	Claim bool
+	// DecisionOutput is the decision node's output value when Claim.
+	DecisionOutput int64
+	// BitsAliceToBob / BitsBobToAlice count the payload bits of all
+	// forwarded special-node messages.
+	BitsAliceToBob int
+	BitsBobToAlice int
+	// Rounds is the number of simulated rounds (the horizon).
+	Rounds int
+	// LemmaViolations lists referee findings (empty = Lemma 5 held).
+	LemmaViolations []string
+	// ReferenceOutputs/Decided capture the reference execution at the
+	// horizon, for output-correctness audits.
+	ReferenceOutputs []int64
+	ReferenceDecided []bool
+	// ReferenceMachines exposes the reference machines for protocol-
+	// specific audits (e.g. flood.Informed).
+	ReferenceMachines []dynet.Machine
+}
+
+// FromCFlood builds the Theorem 6 setup: the oracle solves CFLOOD from
+// source A_Γ with the token 1.
+func FromCFlood(net *subnet.CFloodNet, oracle dynet.Protocol, seed uint64, extra map[string]int64) Setup {
+	inputs := make([]int64, net.N)
+	inputs[net.Source()] = 1
+	return Setup{
+		ActualN: net.N,
+		CfgN:    net.N,
+		Horizon: net.Horizon(),
+		Topology: func(p chains.Party, r int, actions []dynet.Action) *graph.Graph {
+			return net.Topology(p, r, actions)
+		},
+		Spoiled: map[chains.Party][]int{
+			chains.Alice: net.SpoiledFrom(chains.Alice),
+			chains.Bob:   net.SpoiledFrom(chains.Bob),
+		},
+		Forward: map[chains.Party][]int{
+			chains.Alice: net.ForwardNodes(chains.Alice),
+			chains.Bob:   net.ForwardNodes(chains.Bob),
+		},
+		Inputs:       inputs,
+		DecisionNode: net.Source(),
+		Oracle:       oracle,
+		Extra:        extra,
+		Seed:         seed,
+	}
+}
+
+// FromConsensus builds the Theorem 7 setup: the oracle solves CONSENSUS
+// over inputs 0 (Λ) / 1 (Υ), knowing only N' (injected into Extra as
+// "nprime").
+func FromConsensus(net *subnet.ConsensusNet, oracle dynet.Protocol, seed uint64, extra map[string]int64) Setup {
+	merged := map[string]int64{"nprime": int64(net.NPrime)}
+	for k, v := range extra {
+		merged[k] = v
+	}
+	return Setup{
+		ActualN: net.N,
+		CfgN:    net.PotentialN,
+		Horizon: net.Horizon(),
+		Topology: func(p chains.Party, r int, actions []dynet.Action) *graph.Graph {
+			return net.Topology(p, r, actions)
+		},
+		Spoiled: map[chains.Party][]int{
+			chains.Alice: net.SpoiledFrom(chains.Alice),
+			chains.Bob:   net.SpoiledFrom(chains.Bob),
+		},
+		Forward: map[chains.Party][]int{
+			chains.Alice: net.ForwardNodes(chains.Alice),
+			chains.Bob:   net.ForwardNodes(chains.Bob),
+		},
+		Inputs:       net.Inputs(),
+		DecisionNode: net.Lambda.A,
+		Oracle:       oracle,
+		Extra:        merged,
+		Seed:         seed,
+	}
+}
+
+// newMachine constructs the machine for node v exactly as every simulation
+// participant must: same coins, same budget, same Extra.
+func (s Setup) newMachine(v int) dynet.Machine {
+	root := rng.New(s.Seed)
+	return s.Oracle.NewMachine(dynet.Config{
+		N:      s.CfgN,
+		ID:     v,
+		Input:  s.Inputs[v],
+		Coins:  root.Split(uint64(v) + 1),
+		Budget: dynet.Budget(s.CfgN),
+		Extra:  s.Extra,
+	})
+}
+
+// roundRecord captures one node's observable behavior in one round.
+type roundRecord struct {
+	action  dynet.Action
+	payload []byte
+	nbits   int
+	inbox   []dynet.Message // delivered messages (receivers only)
+}
+
+// referenceRun executes the true network under the reference adversary for
+// the horizon, recording every node's behavior per round.
+func (s Setup) referenceRun() ([][]roundRecord, []dynet.Machine) {
+	n := s.ActualN
+	ms := make([]dynet.Machine, n)
+	for v := 0; v < n; v++ {
+		ms[v] = s.newMachine(v)
+	}
+	records := make([][]roundRecord, s.Horizon+1) // 1-based rounds
+	actions := make([]dynet.Action, n)
+	outgoing := make([]dynet.Message, n)
+	for r := 1; r <= s.Horizon; r++ {
+		records[r] = make([]roundRecord, n)
+		for v := 0; v < n; v++ {
+			act, msg := ms[v].Step(r)
+			actions[v], outgoing[v] = act, msg
+			outgoing[v].From = v
+			records[r][v].action = act
+			if act == dynet.Send {
+				records[r][v].payload = append([]byte(nil), msg.Payload...)
+				records[r][v].nbits = msg.NBits
+			}
+		}
+		topo := s.Topology(chains.Reference, r, actions)
+		for v := 0; v < n; v++ {
+			if actions[v] != dynet.Receive {
+				continue
+			}
+			var inbox []dynet.Message
+			topo.ForEachNeighbor(v, func(u int) {
+				if actions[u] == dynet.Send {
+					inbox = append(inbox, outgoing[u])
+				}
+			})
+			sort.Slice(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+			records[r][v].inbox = inbox
+			ms[v].Deliver(r, inbox)
+		}
+	}
+	return records, ms
+}
+
+// Run performs the full reduction. It advances Alice and Bob in lockstep,
+// exchanging forwarded special-node messages after each round's Step phase,
+// exactly like the two-party protocol would (each party's forwards come
+// from its own simulation, never from the reference execution). With
+// referee set, the reference execution is run on the side and every
+// non-spoiled node's behavior is compared against it (Lemma 5).
+func Run(s Setup, referee bool) (*Result, error) {
+	if s.Horizon < 1 {
+		return nil, fmt.Errorf("twoparty: horizon %d < 1", s.Horizon)
+	}
+	n := s.ActualN
+	parties := []chains.Party{chains.Alice, chains.Bob}
+	spoiled := s.Spoiled
+	opposite := map[chains.Party]map[int]bool{
+		chains.Alice: {},
+		chains.Bob:   {},
+	}
+	for _, v := range s.Forward[chains.Bob] {
+		opposite[chains.Alice][v] = true
+	}
+	for _, v := range s.Forward[chains.Alice] {
+		opposite[chains.Bob][v] = true
+	}
+
+	machines := map[chains.Party]map[int]dynet.Machine{}
+	for _, p := range parties {
+		machines[p] = make(map[int]dynet.Machine)
+		for v := 0; v < n; v++ {
+			if spoiled[p][v] >= 1 && !opposite[p][v] {
+				machines[p][v] = s.newMachine(v)
+			}
+		}
+	}
+
+	res := &Result{Rounds: s.Horizon}
+	records := map[chains.Party][][]roundRecord{
+		chains.Alice: make([][]roundRecord, s.Horizon+1),
+		chains.Bob:   make([][]roundRecord, s.Horizon+1),
+	}
+	actions := map[chains.Party]map[int]dynet.Action{
+		chains.Alice: {}, chains.Bob: {},
+	}
+	outgoing := map[chains.Party]map[int]dynet.Message{
+		chains.Alice: {}, chains.Bob: {},
+	}
+	// forwards[p][v] is the message special v (owned by p) sent this
+	// round, as computed by p.
+	for r := 1; r <= s.Horizon; r++ {
+		forwards := map[chains.Party]map[int]dynet.Message{
+			chains.Alice: {}, chains.Bob: {},
+		}
+		for _, p := range parties {
+			records[p][r] = make([]roundRecord, n)
+			for v, m := range machines[p] {
+				if r > spoiled[p][v] {
+					continue
+				}
+				act, msg := m.Step(r)
+				msg.From = v
+				actions[p][v], outgoing[p][v] = act, msg
+				records[p][r][v].action = act
+				if act == dynet.Send {
+					records[p][r][v].payload = append([]byte(nil), msg.Payload...)
+					records[p][r][v].nbits = msg.NBits
+				}
+			}
+			for _, v := range s.Forward[p] {
+				if r <= spoiled[p][v] && actions[p][v] == dynet.Send {
+					forwards[p][v] = outgoing[p][v]
+					if p == chains.Alice {
+						res.BitsAliceToBob += outgoing[p][v].NBits
+					} else {
+						res.BitsBobToAlice += outgoing[p][v].NBits
+					}
+				}
+			}
+		}
+		// Delivery, using the other party's forwards for this round.
+		for _, p := range parties {
+			var other chains.Party
+			if p == chains.Alice {
+				other = chains.Bob
+			} else {
+				other = chains.Alice
+			}
+			topo := s.Topology(p, r, nil)
+			for v, m := range machines[p] {
+				if r >= spoiled[p][v] || actions[p][v] != dynet.Receive {
+					continue
+				}
+				var inbox []dynet.Message
+				topo.ForEachNeighbor(v, func(u int) {
+					switch {
+					case opposite[p][u]:
+						if msg, ok := forwards[other][u]; ok {
+							inbox = append(inbox, msg)
+						}
+					case r <= spoiled[p][u]:
+						if actions[p][u] == dynet.Send {
+							inbox = append(inbox, outgoing[p][u])
+						}
+					}
+				})
+				sort.Slice(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+				records[p][r][v].inbox = inbox
+				m.Deliver(r, inbox)
+			}
+		}
+	}
+
+	// Alice's claim.
+	if m, ok := machines[chains.Alice][s.DecisionNode]; ok {
+		if out, done := m.Output(); done {
+			res.Claim = true
+			res.DecisionOutput = out
+		}
+	} else {
+		return nil, fmt.Errorf("twoparty: decision node %d not simulated by Alice", s.DecisionNode)
+	}
+
+	if referee {
+		refRecords, refMachines := s.referenceRun()
+		res.ReferenceMachines = refMachines
+		res.ReferenceOutputs = make([]int64, n)
+		res.ReferenceDecided = make([]bool, n)
+		for v, m := range refMachines {
+			res.ReferenceOutputs[v], res.ReferenceDecided[v] = m.Output()
+		}
+		for _, p := range parties {
+			res.LemmaViolations = append(res.LemmaViolations,
+				compare(p, s, records[p], refRecords)...)
+		}
+	}
+	return res, nil
+}
+
+// compare verifies Lemma 5 empirically: for every round r and node v
+// non-spoiled for p in round r, the party's action, payload, and inbox
+// match the reference execution.
+func compare(p chains.Party, s Setup, got, ref [][]roundRecord) []string {
+	var out []string
+	spoiled := s.Spoiled[p]
+	opposite := map[int]bool{}
+	var other chains.Party
+	if p == chains.Alice {
+		other = chains.Bob
+	} else {
+		other = chains.Alice
+	}
+	for _, v := range s.Forward[other] {
+		opposite[v] = true
+	}
+	for r := 1; r <= s.Horizon; r++ {
+		for v := 0; v < s.ActualN; v++ {
+			if r >= spoiled[v] || opposite[v] {
+				continue
+			}
+			g, w := got[r][v], ref[r][v]
+			if g.action != w.action {
+				out = append(out, fmt.Sprintf("%v r=%d v=%d: action %v != reference %v", p, r, v, g.action, w.action))
+				continue
+			}
+			if g.action == dynet.Send {
+				if g.nbits != w.nbits || !bytes.Equal(g.payload, w.payload) {
+					out = append(out, fmt.Sprintf("%v r=%d v=%d: payload mismatch", p, r, v))
+				}
+				continue
+			}
+			if len(g.inbox) != len(w.inbox) {
+				out = append(out, fmt.Sprintf("%v r=%d v=%d: inbox size %d != reference %d", p, r, v, len(g.inbox), len(w.inbox)))
+				continue
+			}
+			for i := range g.inbox {
+				if g.inbox[i].From != w.inbox[i].From ||
+					g.inbox[i].NBits != w.inbox[i].NBits ||
+					!bytes.Equal(g.inbox[i].Payload, w.inbox[i].Payload) {
+					out = append(out, fmt.Sprintf("%v r=%d v=%d: inbox[%d] mismatch", p, r, v, i))
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package twoparty
+
+import (
+	"testing"
+
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/protocols/consensus"
+	"dyndiam/internal/protocols/flood"
+	"dyndiam/internal/protocols/leader"
+	"dyndiam/internal/rng"
+	"dyndiam/internal/subnet"
+)
+
+// TestLemma5CFloodReferee is experiment E7: across random instances (both
+// answers) and seeds, Alice's and Bob's simulations of the CFLOOD oracle
+// must match the reference execution exactly on every non-spoiled node.
+func TestLemma5CFloodReferee(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 12; trial++ {
+		q := []int{9, 13, 17}[trial%3]
+		var in disjcp.Instance
+		if trial%2 == 0 {
+			in = disjcp.RandomZero(2, q, 1+trial%2, src)
+		} else {
+			in = disjcp.Random(2, q, src)
+		}
+		net, err := subnet.NewCFlood(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup := FromCFlood(net, flood.CFlood{}, uint64(trial), map[string]int64{
+			flood.ExtraD: 10,
+		})
+		res, err := Run(setup, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.LemmaViolations {
+			t.Errorf("trial %d (q=%d, x=%v, y=%v): %s", trial, q, in.X, in.Y, v)
+		}
+		if res.BitsAliceToBob == 0 {
+			t.Errorf("trial %d: Alice forwarded no bits (A_Γ floods every round)", trial)
+		}
+		budget := dynet.Budget(net.N)
+		if max := res.Rounds * 2 * budget; res.BitsAliceToBob > max || res.BitsBobToAlice > max {
+			t.Errorf("trial %d: forwarded bits (%d, %d) exceed the O(s log N) cap %d",
+				trial, res.BitsAliceToBob, res.BitsBobToAlice, max)
+		}
+	}
+}
+
+// TestLemma5WithGossipOracle re-runs the referee with a very different
+// oracle (the Section 7 leader-election machine, with its coin-driven
+// send/receive pattern): Lemma 5 is protocol-agnostic.
+func TestLemma5WithGossipOracle(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 6; trial++ {
+		in := disjcp.Random(2, 13, src)
+		net, err := subnet.NewCFlood(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup := FromCFlood(net, leader.Protocol{}, uint64(100+trial), map[string]int64{
+			leader.ExtraK: 8,
+		})
+		res, err := Run(setup, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.LemmaViolations {
+			t.Errorf("trial %d (x=%v, y=%v): %s", trial, in.X, in.Y, v)
+		}
+	}
+}
+
+// TestLemma5ConsensusReferee runs the referee over the Theorem 7
+// composition, where Alice and Bob cannot even agree on the node count.
+func TestLemma5ConsensusReferee(t *testing.T) {
+	src := rng.New(9)
+	for trial := 0; trial < 8; trial++ {
+		var in disjcp.Instance
+		if trial%2 == 0 {
+			in = disjcp.RandomZero(2, 13, 1, src)
+		} else {
+			in = disjcp.Random(2, 13, src)
+		}
+		net, err := subnet.NewConsensus(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup := FromConsensus(net, consensus.KnownD{}, uint64(trial), map[string]int64{
+			consensus.ExtraD: 10,
+		})
+		res, err := Run(setup, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.LemmaViolations {
+			t.Errorf("trial %d (x=%v, y=%v, disj=%d): %s", trial, in.X, in.Y, in.Eval(), v)
+		}
+	}
+}
+
+// TestTheorem6Dichotomy is experiment E1's core: a fast CFLOOD oracle (one
+// that assumes a small diameter) lets Alice decide 1-instances within the
+// horizon but *errs* on 0-instances (it confirms while the far line node is
+// uninformed); a safe oracle (pessimistic D = N-1) is correct everywhere
+// but never terminates within the horizon. No oracle is both fast and
+// correct — that is Theorem 6.
+func TestTheorem6Dichotomy(t *testing.T) {
+	src := rng.New(77)
+	const q, n = 25, 2 // horizon 12 > fast oracle's 10 rounds
+
+	for _, zero := range []bool{false, true} {
+		var in disjcp.Instance
+		if zero {
+			in = disjcp.RandomZero(n, q, 1, src)
+		} else {
+			in = disjcp.RandomOne(n, q, src)
+		}
+		net, err := subnet.NewCFlood(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Fast oracle: assumes diameter 10 (correct iff DISJ = 1).
+		fast := FromCFlood(net, flood.CFlood{}, 3, map[string]int64{flood.ExtraD: 10})
+		fres, err := Run(fast, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fres.Claim {
+			t.Errorf("zero=%v: fast oracle did not terminate within horizon %d", zero, fres.Rounds)
+		}
+		// Audit the reference execution's CFLOOD correctness.
+		uninformed := 0
+		for _, m := range fres.ReferenceMachines {
+			if !flood.Informed(m) {
+				uninformed++
+			}
+		}
+		if zero {
+			if uninformed == 0 {
+				t.Error("0-instance: fast oracle confirmed with everyone informed — the line must be unreachable")
+			}
+			// The fast oracle's claim is wrong on 0-instances.
+			if fres.Claim == (in.Eval() == 1) {
+				t.Error("0-instance: fast oracle's claim should be wrong")
+			}
+		} else {
+			if uninformed != 0 {
+				t.Errorf("1-instance: %d nodes uninformed at confirmation on an O(1)-diameter network", uninformed)
+			}
+			if !fres.Claim {
+				t.Error("1-instance: fast oracle should yield claim 1")
+			}
+		}
+
+		// Safe oracle: pessimistic D = N-1; never confirms within the
+		// horizon (N-1 >> (q-1)/2), so Alice always claims 0.
+		safe := FromCFlood(net, flood.CFlood{}, 3, nil)
+		sres, err := Run(safe, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Claim {
+			t.Errorf("zero=%v: safe oracle terminated within the horizon on an N=%d network", zero, net.N)
+		}
+	}
+}
+
+// TestTheorem7AgreementViolation is experiment E2's core: a consensus
+// oracle that assumes a small diameter (legitimate if DISJ = 1, where the
+// network is the O(1)-diameter Λ alone) terminates within the horizon; on
+// 0-instances the Λ side decides 0 while the Υ side decides 1 — an
+// agreement violation, because neither side can learn of the other within
+// the horizon. With only the 1/3-accurate N', no protocol can be both fast
+// and correct — that is Theorem 7.
+func TestTheorem7AgreementViolation(t *testing.T) {
+	src := rng.New(5)
+	const q, n = 401, 1 // horizon 200
+
+	oneIn := disjcp.RandomOne(n, q, src)
+	zeroIn := disjcp.RandomZero(n, q, 1, src)
+
+	for _, tc := range []struct {
+		in   disjcp.Instance
+		zero bool
+	}{{oneIn, false}, {zeroIn, true}} {
+		net, err := subnet.NewConsensus(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fast oracle: gossip for 150 rounds assuming diameter ~10,
+		// then decide. Legitimate on the Λ-only network.
+		setup := FromConsensus(net, consensus.KnownD{}, 11, map[string]int64{
+			consensus.ExtraRounds: 150,
+		})
+		res, err := Run(setup, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Claim {
+			t.Fatalf("zero=%v: oracle did not decide within horizon", tc.zero)
+		}
+		if !tc.zero {
+			// 1-instance: all nodes must agree (on the max-id Λ
+			// node's input, which is 0 here).
+			for v, out := range res.ReferenceOutputs {
+				if !res.ReferenceDecided[v] {
+					t.Fatalf("1-instance: node %d undecided", v)
+				}
+				if out != res.ReferenceOutputs[0] {
+					t.Errorf("1-instance: node %d decided %d, node 0 decided %d",
+						v, out, res.ReferenceOutputs[0])
+				}
+			}
+			continue
+		}
+		// 0-instance: both sides decided, and they disagree.
+		s := net.Lambda.Size()
+		lambdaDecision := res.ReferenceOutputs[net.Lambda.A]
+		upsilonDecision := res.ReferenceOutputs[s] // A_Υ
+		if !res.ReferenceDecided[net.Lambda.A] || !res.ReferenceDecided[s] {
+			t.Fatal("0-instance: sides did not decide within horizon")
+		}
+		if lambdaDecision == upsilonDecision {
+			t.Errorf("0-instance: both sides decided %d — expected an agreement violation",
+				lambdaDecision)
+		}
+		if lambdaDecision != 0 || upsilonDecision != 1 {
+			t.Errorf("0-instance: decisions (%d, %d), want (0, 1) (each side its own unanimous input)",
+				lambdaDecision, upsilonDecision)
+		}
+	}
+}
+
+// TestBitsScaleWithHorizonTimesLogN verifies the communication accounting
+// that links time complexity to DISJOINTNESSCP: the forwarded bits grow
+// linearly in the simulated rounds with an O(log N) factor.
+func TestBitsScaleWithHorizonTimesLogN(t *testing.T) {
+	src := rng.New(13)
+	var prevBits int
+	for _, q := range []int{17, 33, 65} {
+		in := disjcp.RandomOne(2, q, src)
+		net, err := subnet.NewCFlood(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup := FromCFlood(net, flood.CFlood{}, 5, map[string]int64{flood.ExtraD: 10})
+		res, err := Run(setup, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := res.BitsAliceToBob + res.BitsBobToAlice
+		if total <= prevBits {
+			t.Errorf("q=%d: total bits %d did not grow with the horizon (prev %d)", q, total, prevBits)
+		}
+		perRound := float64(total) / float64(res.Rounds)
+		if perRound > float64(4*dynet.Budget(net.N)) {
+			t.Errorf("q=%d: %.1f bits/round exceeds 4 specials x budget", q, perRound)
+		}
+		prevBits = total
+	}
+}
+
+func TestRunRejectsZeroHorizon(t *testing.T) {
+	if _, err := Run(Setup{Horizon: 0}, false); err == nil {
+		t.Fatal("Run accepted horizon 0")
+	}
+}
+
+func BenchmarkCFloodReduction(b *testing.B) {
+	src := rng.New(3)
+	in := disjcp.RandomZero(2, 17, 1, src)
+	net, err := subnet.NewCFlood(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		setup := FromCFlood(net, flood.CFlood{}, uint64(i), map[string]int64{flood.ExtraD: 10})
+		if _, err := Run(setup, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package verify bundles problem-specification auditors: given an
+// execution's inputs and outputs, they check the defining properties of
+// each problem from the paper (CFLOOD output correctness, consensus
+// termination/agreement/validity, leader-election unanimity and
+// legitimacy). The auditors are pure functions over results, so tests,
+// the harness, and downstream users can share one source of truth for
+// "did the protocol actually solve the problem".
+package verify
+
+import (
+	"fmt"
+
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/protocols/flood"
+)
+
+// Termination checks that every node listed in who (nil = all) decided.
+func Termination(res *dynet.Result, who []int) error {
+	if who == nil {
+		for v, ok := range res.Decided {
+			if !ok {
+				return fmt.Errorf("verify: node %d did not decide", v)
+			}
+		}
+		return nil
+	}
+	for _, v := range who {
+		if !res.Decided[v] {
+			return fmt.Errorf("verify: node %d did not decide", v)
+		}
+	}
+	return nil
+}
+
+// Agreement checks that all decided nodes output the same value and
+// returns it. At least one node must have decided.
+func Agreement(res *dynet.Result) (int64, error) {
+	first := int64(0)
+	seen := false
+	for v, ok := range res.Decided {
+		if !ok {
+			continue
+		}
+		if !seen {
+			first, seen = res.Outputs[v], true
+			continue
+		}
+		if res.Outputs[v] != first {
+			return 0, fmt.Errorf("verify: node %d decided %d, others decided %d",
+				v, res.Outputs[v], first)
+		}
+	}
+	if !seen {
+		return 0, fmt.Errorf("verify: no node decided")
+	}
+	return first, nil
+}
+
+// Validity checks that value was some node's input.
+func Validity(inputs []int64, value int64) error {
+	for _, in := range inputs {
+		if in == value {
+			return nil
+		}
+	}
+	return fmt.Errorf("verify: decided value %d was nobody's input", value)
+}
+
+// Consensus checks termination + agreement + validity in one call.
+func Consensus(inputs []int64, res *dynet.Result) error {
+	if err := Termination(res, nil); err != nil {
+		return err
+	}
+	v, err := Agreement(res)
+	if err != nil {
+		return err
+	}
+	return Validity(inputs, v)
+}
+
+// CFlood checks the CFLOOD specification: the source decided, and at the
+// moment of audit every machine holds the token ("by the time V outputs,
+// the token has been received by all nodes").
+func CFlood(ms []dynet.Machine, res *dynet.Result, source int) error {
+	if !res.Decided[source] {
+		return fmt.Errorf("verify: source %d did not confirm", source)
+	}
+	for v, m := range ms {
+		if !flood.Informed(m) {
+			return fmt.Errorf("verify: node %d uninformed at confirmation", v)
+		}
+	}
+	return nil
+}
+
+// Leader checks leader election: termination, unanimity, and that the
+// elected id is a real node. wantMax additionally requires the canonical
+// winner (the maximum id), which holds in failure-free runs of the
+// Section 7 protocol.
+func Leader(res *dynet.Result, n int, wantMax bool) error {
+	if err := Termination(res, nil); err != nil {
+		return err
+	}
+	id, err := Agreement(res)
+	if err != nil {
+		return err
+	}
+	if id < 0 || id >= int64(n) {
+		return fmt.Errorf("verify: elected id %d outside [0, %d)", id, n)
+	}
+	if wantMax && id != int64(n-1) {
+		return fmt.Errorf("verify: elected %d, want the maximum id %d", id, n-1)
+	}
+	return nil
+}
+
+// MaxFunction checks the MAX problem: all nodes decided the true maximum.
+func MaxFunction(inputs []int64, res *dynet.Result) error {
+	if err := Termination(res, nil); err != nil {
+		return err
+	}
+	var want int64
+	for i, in := range inputs {
+		if i == 0 || in > want {
+			want = in
+		}
+	}
+	got, err := Agreement(res)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("verify: MAX decided %d, true maximum %d", got, want)
+	}
+	return nil
+}
+
+// EstimateWithin checks that every node's output is within rel of target.
+func EstimateWithin(res *dynet.Result, target int, rel float64) error {
+	if err := Termination(res, nil); err != nil {
+		return err
+	}
+	lo := float64(target) * (1 - rel)
+	hi := float64(target) * (1 + rel)
+	for v, out := range res.Outputs {
+		if float64(out) < lo || float64(out) > hi {
+			return fmt.Errorf("verify: node %d estimated %d, outside %.1f%% of %d",
+				v, out, rel*100, target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"dyndiam/internal/dynet"
+)
+
+func res(outputs []int64, decided []bool) *dynet.Result {
+	return &dynet.Result{Outputs: outputs, Decided: decided}
+}
+
+func TestTermination(t *testing.T) {
+	r := res([]int64{1, 1, 0}, []bool{true, true, false})
+	if err := Termination(r, nil); err == nil {
+		t.Error("undetected non-termination")
+	}
+	if err := Termination(r, []int{0, 1}); err != nil {
+		t.Errorf("subset termination failed: %v", err)
+	}
+	if err := Termination(r, []int{2}); err == nil {
+		t.Error("node 2 reported terminated")
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	if _, err := Agreement(res([]int64{5, 5}, []bool{true, true})); err != nil {
+		t.Errorf("agreement rejected: %v", err)
+	}
+	if _, err := Agreement(res([]int64{5, 6}, []bool{true, true})); err == nil {
+		t.Error("disagreement accepted")
+	}
+	// Undecided nodes are ignored.
+	v, err := Agreement(res([]int64{5, 99}, []bool{true, false}))
+	if err != nil || v != 5 {
+		t.Errorf("got (%d, %v)", v, err)
+	}
+	if _, err := Agreement(res([]int64{0}, []bool{false})); err == nil {
+		t.Error("no-decision accepted")
+	}
+}
+
+func TestValidity(t *testing.T) {
+	if err := Validity([]int64{0, 1, 0}, 1); err != nil {
+		t.Errorf("valid value rejected: %v", err)
+	}
+	if err := Validity([]int64{0, 0}, 1); err == nil {
+		t.Error("invalid value accepted")
+	}
+}
+
+func TestConsensusComposite(t *testing.T) {
+	inputs := []int64{0, 1}
+	good := res([]int64{1, 1}, []bool{true, true})
+	if err := Consensus(inputs, good); err != nil {
+		t.Errorf("good consensus rejected: %v", err)
+	}
+	bad := res([]int64{2, 2}, []bool{true, true})
+	if err := Consensus(inputs, bad); err == nil || !strings.Contains(err.Error(), "nobody") {
+		t.Errorf("validity violation missed: %v", err)
+	}
+}
+
+func TestLeader(t *testing.T) {
+	good := res([]int64{3, 3, 3, 3}, []bool{true, true, true, true})
+	if err := Leader(good, 4, true); err != nil {
+		t.Errorf("good election rejected: %v", err)
+	}
+	if err := Leader(good, 4, false); err != nil {
+		t.Errorf("non-max check rejected: %v", err)
+	}
+	notMax := res([]int64{2, 2, 2, 2}, []bool{true, true, true, true})
+	if err := Leader(notMax, 4, true); err == nil {
+		t.Error("non-max winner accepted with wantMax")
+	}
+	if err := Leader(notMax, 4, false); err != nil {
+		t.Errorf("legitimate non-max winner rejected: %v", err)
+	}
+	outOfRange := res([]int64{9, 9}, []bool{true, true})
+	if err := Leader(outOfRange, 4, false); err == nil {
+		t.Error("phantom leader accepted")
+	}
+}
+
+func TestMaxFunction(t *testing.T) {
+	inputs := []int64{3, 9, 1}
+	good := res([]int64{9, 9, 9}, []bool{true, true, true})
+	if err := MaxFunction(inputs, good); err != nil {
+		t.Errorf("good MAX rejected: %v", err)
+	}
+	bad := res([]int64{3, 3, 3}, []bool{true, true, true})
+	if err := MaxFunction(inputs, bad); err == nil {
+		t.Error("wrong MAX accepted")
+	}
+}
+
+func TestEstimateWithin(t *testing.T) {
+	good := res([]int64{90, 110}, []bool{true, true})
+	if err := EstimateWithin(good, 100, 0.15); err != nil {
+		t.Errorf("good estimates rejected: %v", err)
+	}
+	if err := EstimateWithin(good, 100, 0.05); err == nil {
+		t.Error("out-of-band estimate accepted")
+	}
+}
