@@ -1,0 +1,27 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race lint fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dynlint ./...
+
+# Short smoke run of every native fuzz target in internal/dynet.
+fuzz:
+	@targets=$$($(GO) test ./internal/dynet -list '^Fuzz' | grep '^Fuzz'); \
+	for target in $$targets; do \
+		echo "==> $$target"; \
+		$(GO) test ./internal/dynet -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
+ci: build lint test race fuzz

@@ -1,0 +1,117 @@
+// Command dynlint runs the repository's model-invariant analyzers
+// (internal/lint) over the module and reports findings with file:line
+// positions. It exits 1 when any finding is reported, 2 on usage or
+// internal errors, and 0 on a clean tree.
+//
+// Usage:
+//
+//	dynlint [-list] [patterns...]
+//
+// Each pattern is a directory or a Go-style recursive pattern ("./...",
+// "dir/..."). With no patterns, "./..." is linted. The -list flag prints
+// the rule set and each rule's scope instead of linting.
+//
+// Suppress an individual finding with a trailing or preceding comment:
+//
+//	//lint:allow <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dyndiam/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: it returns the process exit code and
+// writes findings to stdout, diagnostics to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dynlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list rules and scopes instead of linting")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := resolvePatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "dynlint: %v\n", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(stderr, "dynlint: no packages matched %v\n", patterns)
+		return 2
+	}
+	loader, err := lint.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "dynlint: %v\n", err)
+		return 2
+	}
+	total := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "dynlint: %s: %v\n", dir, err)
+			return 2
+		}
+		for _, f := range lint.RunAll(analyzers, pkg) {
+			fmt.Fprintln(stdout, f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "dynlint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// resolvePatterns expands "..."-suffixed patterns into package
+// directories and passes plain directories through.
+func resolvePatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			root := filepath.Clean(strings.TrimSuffix(rest, string(filepath.Separator)+""))
+			if root == "" || rest == "" {
+				root = "."
+			}
+			sub, err := lint.PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+			continue
+		}
+		d := filepath.Clean(p)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// countLines counts non-empty lines.
+func countLines(s string) int {
+	n := 0
+	for _, line := range strings.Split(s, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRunBadTree: the driver reports each seeded violation in the fixture
+// tree with the intended rule and exits 1.
+func TestRunBadTree(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"testdata/tree/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if got := countLines(out); got != 6 {
+		t.Errorf("finding count = %d, want 6:\n%s", got, out)
+	}
+	wantRules := map[string]int{
+		"determinism: ": 2, // math/rand import + rand.Intn call
+		"congestsend: ": 1, // raw []byte payload
+		"maporder: ":    1, // return inside map range
+		"panicfree: ":   1, // panic in library func
+		"printclean: ":  1, // fmt.Println in library func
+	}
+	for rule, want := range wantRules {
+		if got := strings.Count(out, rule); got != want {
+			t.Errorf("%s findings = %d, want %d:\n%s", strings.TrimSuffix(rule, ": "), got, want, out)
+		}
+	}
+	for _, file := range []string{"badproto.go:", "badlib.go:"} {
+		if !strings.Contains(out, file) {
+			t.Errorf("output does not name %s:\n%s", file, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "6 finding(s)") {
+		t.Errorf("stderr summary = %q, want 6 finding(s)", stderr.String())
+	}
+}
+
+// TestRunGoodTree: a clean subtree (allow-suppressed collection) exits 0
+// with no output.
+func TestRunGoodTree(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"testdata/tree/internal/goodlib"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stdout: %s stderr: %s)", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected findings on clean tree:\n%s", stdout.String())
+	}
+}
+
+// TestRunList: -list prints one line per rule and exits 0.
+func TestRunList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-list"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if got := countLines(stdout.String()); got != 5 {
+		t.Errorf("rule list has %d lines, want 5:\n%s", got, stdout.String())
+	}
+	for _, rule := range []string{"determinism", "maporder", "congestsend", "panicfree", "printclean"} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("rule %s missing from -list output", rule)
+		}
+	}
+}
+
+// TestRunBadPattern: an unmatched pattern is a usage error (exit 2).
+func TestRunBadPattern(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"testdata/no-such-dir/..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestWholeModuleClean is the acceptance gate: dynlint over the module
+// root must report nothing (the tree carries allow justifications where
+// the rules are intentionally relaxed).
+func TestWholeModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"../../..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("dynlint on the module = exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+}

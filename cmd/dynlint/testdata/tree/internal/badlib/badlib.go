@@ -1,0 +1,21 @@
+// Package badlib is a driver fixture: one maporder, one panicfree, and
+// one printclean violation.
+package badlib
+
+import "fmt"
+
+// Reference leaks map order through its return values.
+func Reference(m map[int]int64) (int, int64) {
+	for v, out := range m {
+		return v, out
+	}
+	return -1, 0
+}
+
+// Audit prints from library code and panics on bad input.
+func Audit(m map[int]int64) {
+	if len(m) == 0 {
+		panic("badlib: empty result map")
+	}
+	fmt.Println("audited", len(m), "nodes")
+}

@@ -1,0 +1,14 @@
+// Package goodlib is a driver fixture with no violations.
+package goodlib
+
+import "sort"
+
+// SortedKeys is deterministic: collect (with justification), then sort.
+func SortedKeys(m map[int]int64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k) //lint:allow maporder sorted immediately below
+	}
+	sort.Ints(out)
+	return out
+}

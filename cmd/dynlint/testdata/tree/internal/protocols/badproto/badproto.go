@@ -1,0 +1,17 @@
+// Package badproto is a driver fixture: a "protocol" violating the
+// determinism rule twice (import + call) and the congestsend rule once.
+package badproto
+
+import (
+	"math/rand"
+
+	"dyndiam/internal/dynet"
+)
+
+// Step flips an ambient coin and hand-rolls its message payload.
+func Step() (dynet.Action, dynet.Message) {
+	if rand.Intn(2) == 0 {
+		return dynet.Receive, dynet.Message{}
+	}
+	return dynet.Send, dynet.Message{Payload: []byte{1}, NBits: 8}
+}

@@ -33,4 +33,9 @@
 //
 // The cmd/ binaries (dynsim, gaptable, reduction, leaderelect) and the
 // examples/ programs exercise this API end to end.
+//
+// Model invariants that are code discipline rather than runtime checks
+// (determinism, CONGEST bit accounting, print hygiene) are enforced
+// statically by cmd/dynlint; see "Static analysis & model invariants" in
+// README.md.
 package dyndiam

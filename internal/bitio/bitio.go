@@ -56,9 +56,11 @@ func (w *Writer) WriteBit(b bool) {
 // protocol designer, so an overflow is a programming error, not input error.
 func (w *Writer) WriteUint(v uint64, width int) {
 	if width < 0 || width > 64 {
+		//lint:allow panicfree message layouts are fixed by the protocol designer; a bad width is a programming error
 		panic(fmt.Sprintf("bitio: invalid width %d", width))
 	}
 	if width < 64 && v >= 1<<uint(width) {
+		//lint:allow panicfree an overflowing field is a protocol-design bug, not runtime input
 		panic(fmt.Sprintf("bitio: value %d does not fit in %d bits", v, width))
 	}
 	for i := width - 1; i >= 0; i-- {

@@ -96,6 +96,7 @@ func (c Chain) removalRounds() (top, bottom int, condTop, condBottom bool) {
 		bottom = (a-1)/2 + 2
 		condBottom = true
 	default:
+		//lint:allow panicfree the cycle promise is established by the instance constructors; violating it is a construction bug
 		panic(fmt.Sprintf("chains: label pair (%d, %d) violates the cycle promise", a, b))
 	}
 	return top, bottom, condTop, condBottom

@@ -57,64 +57,101 @@ func (m *chaosMachine) Deliver(r int, msgs []Message) {
 
 func (m *chaosMachine) Output() (int64, bool) { return int64(m.inboxes), m.decided }
 
-// TestEngineFuzzDeterminism: arbitrary machines on arbitrary dynamic
-// topologies produce identical results under sequential and parallel
-// execution, and the engine never delivers over-budget or mis-attributed
-// messages (the chaos machines panic if it does).
-func TestEngineFuzzDeterminism(t *testing.T) {
-	f := func(seed uint64, nRaw uint8, extraRaw uint8) bool {
-		n := int(nRaw%40) + 2
-		extra := int(extraRaw % 60)
-		run := func(workers int) *Result {
-			ms := NewMachines(chaosProtocol{}, n, nil, seed, nil)
-			src := rng.New(seed ^ 0xABCD)
-			adv := AdversaryFunc(func(r int, _ []Action) *graph.Graph {
-				return graph.RandomConnected(n, extra, src.Split(uint64(r)))
-			})
-			e := &Engine{Machines: ms, Adv: adv, Workers: workers, CheckConnectivity: true}
-			res, err := e.Run(250)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return res
+// checkEngineDeterminism drives arbitrary machines on arbitrary dynamic
+// topologies and reports whether sequential and parallel execution
+// produce bit-identical results. The chaos machines additionally panic
+// if the engine ever delivers over-budget or mis-attributed messages.
+func checkEngineDeterminism(t *testing.T, seed uint64, nRaw, extraRaw uint8) bool {
+	t.Helper()
+	n := int(nRaw%40) + 2
+	extra := int(extraRaw % 60)
+	run := func(workers int) *Result {
+		ms := NewMachines(chaosProtocol{}, n, nil, seed, nil)
+		src := rng.New(seed ^ 0xABCD)
+		adv := AdversaryFunc(func(r int, _ []Action) *graph.Graph {
+			return graph.RandomConnected(n, extra, src.Split(uint64(r)))
+		})
+		e := &Engine{Machines: ms, Adv: adv, Workers: workers, CheckConnectivity: true}
+		res, err := e.Run(250)
+		if err != nil {
+			t.Fatal(err)
 		}
-		a := run(1)
-		b := run(6)
-		if a.Rounds != b.Rounds || a.Messages != b.Messages || a.Bits != b.Bits || a.Done != b.Done {
+		return res
+	}
+	a := run(1)
+	b := run(6)
+	if a.Rounds != b.Rounds || a.Messages != b.Messages || a.Bits != b.Bits || a.Done != b.Done {
+		return false
+	}
+	for v := range a.Outputs {
+		if a.Outputs[v] != b.Outputs[v] || a.Decided[v] != b.Decided[v] {
 			return false
 		}
-		for v := range a.Outputs {
-			if a.Outputs[v] != b.Outputs[v] || a.Decided[v] != b.Decided[v] {
-				return false
-			}
-		}
-		return true
+	}
+	return true
+}
+
+// checkEngineAccounting verifies that message and bit counters equal the
+// sum over rounds of senders' payloads, cross-checked through a trace.
+func checkEngineAccounting(t *testing.T, seed uint64, nRaw uint8) {
+	t.Helper()
+	n := int(nRaw%40) + 3
+	ms := NewMachines(chaosProtocol{}, n, nil, seed, nil)
+	tr := &Trace{}
+	e := &Engine{Machines: ms, Adv: Static(graph.Ring(n)), Workers: 1, Trace: tr}
+	res, err := e.Run(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var senders, bits int
+	for _, st := range tr.Stats {
+		senders += st.Senders
+		bits += st.Bits
+	}
+	if senders != res.Messages || bits != res.Bits {
+		t.Fatalf("seed %d n %d: trace (%d msgs, %d bits) != result (%d, %d)",
+			seed, n, senders, bits, res.Messages, res.Bits)
+	}
+}
+
+// TestEngineFuzzDeterminism is the quick-check entry point for the
+// sequential-vs-parallel determinism property.
+func TestEngineFuzzDeterminism(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, extraRaw uint8) bool {
+		return checkEngineDeterminism(t, seed, nRaw, extraRaw)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
 	}
 }
 
-// TestEngineFuzzAccounting: message and bit counters equal the sum over
-// rounds of senders' payloads, cross-checked through a trace.
+// TestEngineFuzzAccounting spot-checks the accounting property on fixed
+// seeds (the fuzz target explores further).
 func TestEngineFuzzAccounting(t *testing.T) {
 	for seed := uint64(0); seed < 5; seed++ {
-		const n = 20
-		ms := NewMachines(chaosProtocol{}, n, nil, seed, nil)
-		tr := &Trace{}
-		e := &Engine{Machines: ms, Adv: Static(graph.Ring(n)), Workers: 1, Trace: tr}
-		res, err := e.Run(150)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var senders, bits int
-		for _, st := range tr.Stats {
-			senders += st.Senders
-			bits += st.Bits
-		}
-		if senders != res.Messages || bits != res.Bits {
-			t.Fatalf("seed %d: trace (%d msgs, %d bits) != result (%d, %d)",
-				seed, senders, bits, res.Messages, res.Bits)
-		}
+		checkEngineAccounting(t, seed, 17) // nRaw 17 -> n = 20, the historical size
 	}
+}
+
+// FuzzEngineDeterminism is the native fuzz target for the determinism
+// property; CI runs it for a short smoke interval on every push.
+func FuzzEngineDeterminism(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(5))
+	f.Add(uint64(0xDEAD), uint8(39), uint8(59))
+	f.Add(uint64(42), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, extraRaw uint8) {
+		if !checkEngineDeterminism(t, seed, nRaw, extraRaw) {
+			t.Errorf("seed %d nRaw %d extraRaw %d: sequential and parallel executions diverge", seed, nRaw, extraRaw)
+		}
+	})
+}
+
+// FuzzEngineAccounting is the native fuzz target for trace/result
+// accounting consistency.
+func FuzzEngineAccounting(f *testing.F) {
+	f.Add(uint64(0), uint8(17))
+	f.Add(uint64(7), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8) {
+		checkEngineAccounting(t, seed, nRaw)
+	})
 }

@@ -41,6 +41,7 @@ func (t *Trace) Topologies() []*graph.Graph {
 	out := make([]*graph.Graph, len(t.Stats))
 	for i, st := range t.Stats {
 		if st.Topology == nil {
+			//lint:allow panicfree documented API contract: Topologies requires KeepTopologies; misuse is a caller bug
 			panic("dynet: trace did not keep topologies")
 		}
 		out[i] = st.Topology

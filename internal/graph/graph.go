@@ -17,6 +17,7 @@ type Graph struct {
 // New returns an empty graph with n vertices.
 func New(n int) *Graph {
 	if n < 0 {
+		//lint:allow panicfree vertex counts come from construction code, never from runtime input
 		panic("graph: negative vertex count")
 	}
 	g := &Graph{n: n, adj: make([]map[int]struct{}, n)}
@@ -47,6 +48,7 @@ func (g *Graph) AddEdge(u, v int) {
 	g.check(u)
 	g.check(v)
 	if u == v {
+		//lint:allow panicfree the model forbids self-loops; an adversary emitting one is a programming error
 		panic("graph: self-loop")
 	}
 	if g.adj[u] == nil {
@@ -93,7 +95,7 @@ func (g *Graph) Degree(v int) int {
 func (g *Graph) Neighbors(v int, dst []int) []int {
 	g.check(v)
 	for u := range g.adj[v] {
-		dst = append(dst, u)
+		dst = append(dst, u) //lint:allow maporder order documented as unspecified; deterministic callers sort
 	}
 	return dst
 }
@@ -112,7 +114,7 @@ func (g *Graph) Edges() [][2]int {
 	for u, a := range g.adj {
 		for v := range a {
 			if u < v {
-				out = append(out, [2]int{u, v})
+				out = append(out, [2]int{u, v}) //lint:allow maporder order documented as unspecified; deterministic callers (export.DOT) sort
 			}
 		}
 	}
@@ -175,6 +177,7 @@ func (g *Graph) BFS(src int) []int {
 		for u := range g.adj[v] {
 			if dist[u] == -1 {
 				dist[u] = dist[v] + 1
+				//lint:allow maporder queue order varies but BFS level sets do not; the returned distances are order-independent
 				queue = append(queue, u)
 			}
 		}
@@ -216,6 +219,7 @@ func (g *Graph) ConnectedOver(set []int) bool {
 		for u := range g.adj[v] {
 			if in[u] && !seen[u] {
 				seen[u] = true
+				//lint:allow maporder traversal order varies but the reached set does not; only its size is returned
 				queue = append(queue, u)
 			}
 		}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// CongestSend enforces CONGEST message hygiene in protocol packages: a
+// dynet.Message put on the wire must take its Payload from a
+// bitio.Writer's Bytes() and its NBits from the *same* writer's Len().
+// The engine can only enforce the O(log N) per-message bit budget
+// (dynet.Budget) if NBits is the true payload length, and the two-party
+// harness charges Alice and Bob exactly NBits per forwarded message —
+// hand-rolled byte slices or hand-computed bit counts break both
+// accountings. The rule also rejects bitio field widths outside [0, 64],
+// which would panic at encode time.
+var CongestSend = &Analyzer{
+	Name: "congestsend",
+	Doc: "message construction must go through internal/bitio: Payload from Writer.Bytes(), " +
+		"NBits from the matching Writer.Len(); field widths must fit in [0, 64]",
+	Scope: func(path string) bool { return underAny(path, "internal/protocols") },
+	Run:   runCongestSend,
+}
+
+func runCongestSend(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				p.checkMessageLit(n)
+			case *ast.CallExpr:
+				p.checkWriteWidth(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMessageLit validates a dynet.Message composite literal.
+func (p *Pass) checkMessageLit(lit *ast.CompositeLit) {
+	if !p.isNamed(lit, "internal/dynet", "Message") {
+		return
+	}
+	if len(lit.Elts) == 0 {
+		return // the empty Receive-side message carries no payload
+	}
+	var payload, nbits ast.Expr
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			p.Reportf(lit.Pos(), "dynet.Message built with positional fields: use keyed Payload/NBits from a bitio.Writer")
+			return
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Payload":
+			payload = kv.Value
+		case "NBits":
+			nbits = kv.Value
+		}
+	}
+	if payload == nil && nbits == nil {
+		return // From-only literals are the engine's business, not a send site
+	}
+	payloadRecv, payloadOK := p.writerMethodReceiver(payload, "Bytes")
+	if !payloadOK {
+		p.Reportf(lit.Pos(), "Payload must come from a bitio.Writer's Bytes(): raw byte slices bypass CONGEST bit accounting")
+		return
+	}
+	nbitsRecv, nbitsOK := p.writerMethodReceiver(nbits, "Len")
+	if !nbitsOK {
+		p.Reportf(lit.Pos(), "NBits must come from a bitio.Writer's Len(): hand-computed bit counts break the engine's budget check")
+		return
+	}
+	if payloadRecv != nbitsRecv {
+		p.Reportf(lit.Pos(), "Payload and NBits come from different writers (%s vs %s): the declared length would not match the payload", payloadRecv, nbitsRecv)
+	}
+}
+
+// writerMethodReceiver checks that expr is a call recv.<method>() on a
+// bitio.Writer and returns the receiver's printed form.
+func (p *Pass) writerMethodReceiver(expr ast.Expr, method string) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Writer" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/bitio") {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// checkWriteWidth validates constant width arguments of bitio WriteUint.
+func (p *Pass) checkWriteWidth(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteUint" || len(call.Args) != 2 {
+		return
+	}
+	if _, ok := p.writerReceiverType(sel.X); !ok {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return // non-constant widths are checked at runtime by bitio
+	}
+	w, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return
+	}
+	if w < 0 || w > 64 {
+		p.Reportf(call.Args[1].Pos(), "bitio field width %d outside [0, 64]: WriteUint would panic at encode time", w)
+	}
+}
+
+// writerReceiverType reports whether expr's type is (a pointer to)
+// bitio.Writer.
+func (p *Pass) writerReceiverType(expr ast.Expr) (types.Type, bool) {
+	t := p.TypeOf(expr)
+	if t == nil {
+		return nil, false
+	}
+	u := t
+	if ptr, ok := u.(*types.Pointer); ok {
+		u = ptr.Elem()
+	}
+	named, ok := u.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Writer" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/bitio") {
+		return nil, false
+	}
+	return t, true
+}
+
+// isNamed reports whether the composite literal's type is the named type
+// pkgSuffix.name (matched by import-path suffix so the rule is module-path
+// agnostic; also matches unqualified literals inside the defining package).
+func (p *Pass) isNamed(lit *ast.CompositeLit, pkgSuffix, name string) bool {
+	t := p.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), pkgSuffix)
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Determinism forbids ambient nondeterminism in simulation and protocol
+// packages. The paper's lower bounds (Theorems 6-7) require public-coin
+// executions: every coin must be a pure function of (seed, node, round) so
+// Alice and Bob can re-simulate any node bit-identically from the shared
+// seed (internal/rng implements exactly this contract). A single
+// math/rand draw or wall-clock read inside a protocol makes the two-party
+// re-simulation diverge from the reference execution and silently voids
+// the reduction, so those sources are banned at the import/call level.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid math/rand and wall-clock reads in simulation/protocol packages; " +
+		"randomness must come from internal/rng so executions are re-simulable from the public seed",
+	Scope: func(path string) bool {
+		return underAny(path,
+			"internal/dynet",
+			"internal/protocols",
+			"internal/adversaries",
+			"internal/chains",
+			"internal/subnet",
+		)
+	},
+	Run: runDeterminism,
+}
+
+// bannedClockCalls are time package functions that read the wall clock.
+var bannedClockCalls = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s: simulation randomness must come from internal/rng (public-coin re-simulation)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkg := p.pkgIdentOrName(f, sel.X); pkg {
+			case "time":
+				if bannedClockCalls[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock: protocol behavior must be a pure function of (seed, node, round)", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(), "%s.%s: simulation randomness must come from internal/rng (public-coin re-simulation)", pkg, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// pkgIdentOrName resolves a selector qualifier to an imported package
+// path, preferring type information and falling back to matching the
+// file's import names when type info is partial.
+func (p *Pass) pkgIdentOrName(f *ast.File, e ast.Expr) string {
+	if path := p.pkgIdent(e); path != "" {
+		return path
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			// Only trust the fallback when no local object shadows it.
+			if p.ObjectOf(id) == nil {
+				return path
+			}
+		}
+	}
+	return ""
+}

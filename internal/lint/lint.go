@@ -1,0 +1,207 @@
+// Package lint is a stdlib-only static-analysis framework enforcing the
+// repository's model invariants: the paper's lower-bound reductions
+// (Theorems 6-7) are sound only for public-coin CONGEST executions, so
+// protocol code must draw randomness from internal/rng, encode messages
+// through internal/bitio, and never let nondeterminism (wall clocks,
+// math/rand, map iteration order) leak into simulation results.
+//
+// The framework deliberately uses only go/parser, go/ast, and go/types —
+// no golang.org/x/tools dependency — so the module stays dependency-free.
+// Analyzers are registered in DefaultAnalyzers and run by cmd/dynlint as
+// well as by this package's own table-driven tests over testdata corpora.
+//
+// Any finding can be suppressed by a comment
+//
+//	//lint:allow <rule> <reason>
+//
+// placed either on the flagged line or on the line directly above it.
+// The reason is free text but should name the invariant argument (e.g.
+// "callers sort; order documented as unspecified").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders a finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Analyzer is one named rule. Run inspects a loaded package through the
+// Pass and reports findings; Scope decides which import paths the driver
+// applies the rule to (tests bypass Scope and run analyzers directly).
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Scope func(importPath string) bool
+	Run   func(*Pass)
+}
+
+// Pass hands an analyzer one loaded package plus a reporting sink.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	allowed  map[string]map[int]bool // filename -> line -> allowed for this rule
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless an allow comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allowed[position.Filename][position.Line] {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:     position,
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe shorthand for the package's type information.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Run applies one analyzer to a loaded package and returns its findings,
+// already sorted by position.
+func Run(a *Analyzer, pkg *Package) []Finding {
+	var findings []Finding
+	pass := &Pass{
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		analyzer: a,
+		allowed:  allowedLines(pkg.Fset, pkg.Files, a.Name),
+		findings: &findings,
+	}
+	a.Run(pass)
+	sortFindings(findings)
+	return findings
+}
+
+// RunAll applies every analyzer whose Scope accepts the package's import
+// path.
+func RunAll(analyzers []*Analyzer, pkg *Package) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		if a.Scope != nil && !a.Scope(pkg.Path) {
+			continue
+		}
+		findings = append(findings, Run(a, pkg)...)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+// allowedLines scans a package's comments for //lint:allow directives for
+// one rule and returns the per-file set of suppressed lines: the comment's
+// own line and the line directly below it (for standalone comments).
+func allowedLines(fset *token.FileSet, files []*ast.File, rule string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) == 0 || fields[0] != rule {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// DefaultAnalyzers returns the full rule set in a stable order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		MapOrder,
+		CongestSend,
+		PanicFree,
+		PrintClean,
+	}
+}
+
+// underAny reports whether the import path has any of the given
+// slash-separated suff-trees as a segment-aligned infix: the rule scopes
+// are written against "internal/..." so they work for any module path.
+func underAny(path string, trees ...string) bool {
+	for _, t := range trees {
+		if strings.HasSuffix(path, "/"+t) || strings.Contains(path, "/"+t+"/") || path == t || strings.HasPrefix(path, t+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgIdent resolves a selector's qualifier to the import path of the
+// package it names, or "" when the qualifier is not a package name.
+func (p *Pass) pkgIdent(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.ObjectOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

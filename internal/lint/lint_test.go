@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes one loader (and with it the type-checked stdlib)
+// across all tests in the package.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(".")
+})
+
+// loadCorpus loads one testdata package through the real loader.
+func loadCorpus(t *testing.T, name string) *Package {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("corpus %s has type errors (fixtures must compile): %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// wantLines extracts the `// want:<rule>` annotations of a corpus as a
+// sorted list of file:line keys.
+func wantLines(pkg *Package, rule string) []string {
+	var out []string
+	marker := "want:" + rule
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != marker {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// gotLines renders findings as deduplicated sorted file:line keys.
+func gotLines(fs []Finding) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range fs {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestAnalyzers is the table-driven corpus check: for every rule, the
+// analyzer must flag exactly the `// want:<rule>` lines of its corpus —
+// bad.go lines are caught, good.go stays silent.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		corpus   string
+	}{
+		{Determinism, "determinism"},
+		{MapOrder, "maporder"},
+		{CongestSend, "congestsend"},
+		{PanicFree, "panicfree"},
+		{PrintClean, "printclean"},
+	}
+	for _, c := range cases {
+		t.Run(c.analyzer.Name, func(t *testing.T) {
+			pkg := loadCorpus(t, c.corpus)
+			got := gotLines(Run(c.analyzer, pkg))
+			want := wantLines(pkg, c.analyzer.Name)
+			if len(want) == 0 {
+				t.Fatalf("corpus %s has no want:%s annotations", c.corpus, c.analyzer.Name)
+			}
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// TestRuleExclusivity: each bad corpus is caught by exactly its intended
+// analyzer — no rule fires on another rule's corpus (the corpora are
+// minimal on purpose).
+func TestRuleExclusivity(t *testing.T) {
+	all := DefaultAnalyzers()
+	corpora := []string{"determinism", "maporder", "congestsend", "panicfree", "printclean"}
+	for _, corpus := range corpora {
+		pkg := loadCorpus(t, corpus)
+		for _, a := range all {
+			fs := Run(a, pkg)
+			if a.Name == corpus {
+				if len(fs) == 0 {
+					t.Errorf("%s: intended analyzer found nothing", corpus)
+				}
+				continue
+			}
+			if len(fs) != 0 {
+				t.Errorf("%s: unrelated analyzer %s fired: %v", corpus, a.Name, fs)
+			}
+		}
+	}
+}
+
+// TestAllowSuppression: the allow corpus suppresses every violation
+// except the one whose allow names the wrong rule.
+func TestAllowSuppression(t *testing.T) {
+	pkg := loadCorpus(t, "allow")
+	for _, a := range DefaultAnalyzers() {
+		got := gotLines(Run(a, pkg))
+		want := wantLines(pkg, a.Name)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("%s on allow corpus\n got: %v\nwant: %v", a.Name, got, want)
+		}
+	}
+}
+
+// TestScopes pins the package scoping policy of each rule.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		rule string
+		path string
+		want bool
+	}{
+		{"determinism", "dyndiam/internal/dynet", true},
+		{"determinism", "dyndiam/internal/protocols/flood", true},
+		{"determinism", "dyndiam/internal/harness", false},
+		{"determinism", "dyndiam/cmd/report", false},
+		{"maporder", "dyndiam/internal/verify", true},
+		{"maporder", "dyndiam/cmd/dynsim", false},
+		{"congestsend", "dyndiam/internal/protocols/leader", true},
+		{"congestsend", "dyndiam/internal/dynet", false},
+		{"panicfree", "dyndiam/internal/graph", true},
+		{"panicfree", "dyndiam/examples/quickstart", false},
+		{"printclean", "dyndiam/internal/export", true},
+		{"printclean", "dyndiam/cmd/gaptable", false},
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range DefaultAnalyzers() {
+		byName[a.Name] = a
+	}
+	for _, c := range cases {
+		a, ok := byName[c.rule]
+		if !ok {
+			t.Fatalf("unknown rule %s", c.rule)
+		}
+		if got := a.Scope(c.path); got != c.want {
+			t.Errorf("%s.Scope(%s) = %v, want %v", c.rule, c.path, got, c.want)
+		}
+	}
+}
+
+// TestSelfClean: the lint package itself must satisfy every rule scoped
+// to internal packages.
+func TestSelfClean(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load(".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, f := range RunAll(DefaultAnalyzers(), pkg) {
+		t.Errorf("lint package violates its own rules: %s", f)
+	}
+}
+
+// TestPackageDirs: the walker skips testdata and finds this package.
+func TestPackageDirs(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLint := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("walker descended into testdata: %s", d)
+		}
+		if strings.HasSuffix(d, filepath.Join("internal", "lint")) {
+			sawLint = true
+		}
+	}
+	if !sawLint {
+		t.Error("walker did not find internal/lint")
+	}
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package directory.
+// Only non-test files are loaded: the invariants the analyzers enforce are
+// about simulation and protocol code, and test files legitimately poke at
+// internals (hand-built payloads, chaos machines, map-literal tables).
+type Package struct {
+	Path  string // import path ("" if outside a module)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker diagnostics. Loading is lenient:
+	// analyzers degrade gracefully when type information is partial, and
+	// the build/vet CI steps own compile-error reporting.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks package directories of one module using
+// only the standard library. Module-internal imports are resolved by
+// type-checking their source; standard-library imports go through the
+// go/importer source importer (GOROOT/src), so the loader needs neither
+// network access nor pre-built export data.
+type Loader struct {
+	ModRoot string
+	ModPath string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir (or dir
+// itself when it holds go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*types.Package{},
+	}, nil
+}
+
+// Fset exposes the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot walks upward from dir to the directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// ImportPath maps a directory under the module root to its import path.
+func (l *Loader) ImportPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", abs, l.ModRoot)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// PackageDirs walks root and returns every directory containing non-test
+// Go files, skipping testdata, hidden, and underscore-prefixed trees.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Load parses and type-checks the package in dir.
+func (l *Loader) Load(dir string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	path, err := l.ImportPath(dir)
+	if err != nil {
+		path = filepath.Base(dir) // outside a module: lint syntactically
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info) // errors collected above
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter adapts Loader to types.Importer. Module-internal paths
+// are type-checked from source and memoized; everything else is delegated
+// to the standard-library source importer. Failures yield an empty
+// placeholder package so that type-checking of the importer's client can
+// continue (lenient mode).
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")))
+		files, err := l.parseDir(dir)
+		if err != nil || len(files) == 0 {
+			return li.placeholder(path), nil
+		}
+		conf := types.Config{Importer: li, Error: func(error) {}}
+		pkg, _ := conf.Check(path, l.fset, files, nil)
+		if pkg == nil {
+			return li.placeholder(path), nil
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil || pkg == nil {
+		return li.placeholder(path), nil
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// placeholder returns an empty complete package so type-checking proceeds
+// past an unresolvable import.
+func (li *loaderImporter) placeholder(path string) *types.Package {
+	l := (*Loader)(li)
+	pkg := types.NewPackage(path, filepath.Base(path))
+	pkg.MarkComplete()
+	l.pkgs[path] = pkg
+	return pkg
+}

@@ -1,0 +1,44 @@
+// Package allow is a lint fixture exercising the //lint:allow escape
+// hatch: every violation below is suppressed, so running any analyzer
+// over this package must yield zero findings.
+package allow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedValues collects then sorts; the allow rides on the line above.
+func SortedValues(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		//lint:allow maporder collected slice is sorted before being returned
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Banner is a deliberate same-line suppression.
+func Banner(v int) {
+	fmt.Println("banner", v) //lint:allow printclean fixture demonstrates same-line suppression
+}
+
+// Guard panics with an inline justification.
+func Guard(v int) int {
+	if v < 0 {
+		panic("allow fixture: negative") //lint:allow panicfree negative v is a caller bug, documented contract
+	}
+	return v
+}
+
+// WrongRule shows that an allow for a different rule does not suppress:
+// the panicfree allow below must NOT silence maporder.
+func WrongRule(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		//lint:allow panicfree mismatched rule name
+		out = append(out, k) // want:maporder
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package congestsend is a lint fixture for the congestsend analyzer.
+package congestsend
+
+import (
+	"dyndiam/internal/bitio"
+	"dyndiam/internal/dynet"
+)
+
+// RawPayload hand-rolls a byte slice: no bit accounting.
+func RawPayload(token byte) dynet.Message {
+	return dynet.Message{Payload: []byte{token}, NBits: 8} // want:congestsend
+}
+
+// FakeLength pairs a real writer payload with a hand-computed bit count.
+func FakeLength(token uint64) dynet.Message {
+	var w bitio.Writer
+	w.WriteUvarint(token)
+	return dynet.Message{Payload: w.Bytes(), NBits: 5} // want:congestsend
+}
+
+// MixedWriters takes Payload and NBits from different writers.
+func MixedWriters(token uint64) dynet.Message {
+	var w1, w2 bitio.Writer
+	w1.WriteUvarint(token)
+	w2.WriteUvarint(token)
+	return dynet.Message{Payload: w1.Bytes(), NBits: w2.Len()} // want:congestsend
+}
+
+// WideField declares a field wider than a 64-bit word.
+func WideField(v uint64) dynet.Message {
+	var w bitio.Writer
+	w.WriteUint(v, 80) // want:congestsend
+	return dynet.Message{Payload: w.Bytes(), NBits: w.Len()}
+}
+
+// Positional builds the literal without field keys.
+func Positional(payload []byte) dynet.Message {
+	return dynet.Message{0, payload, 8} // want:congestsend
+}

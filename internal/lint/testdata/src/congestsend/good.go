@@ -1,0 +1,32 @@
+package congestsend
+
+import (
+	"dyndiam/internal/bitio"
+	"dyndiam/internal/dynet"
+)
+
+// Encoded is the canonical send site: one writer supplies both fields.
+func Encoded(token uint64, id int) dynet.Message {
+	var w bitio.Writer
+	w.WriteUvarint(token)
+	w.WriteUint(uint64(id), 16)
+	return dynet.Message{Payload: w.Bytes(), NBits: w.Len()}
+}
+
+// Empty is the Receive-side zero message: carries nothing, always fine.
+func Empty() dynet.Message {
+	return dynet.Message{}
+}
+
+// DynamicWidth passes a computed width; bitio validates it at runtime.
+func DynamicWidth(v uint64, n int) dynet.Message {
+	var w bitio.Writer
+	w.WriteUint(v, bitio.WidthFor(n))
+	return dynet.Message{Payload: w.Bytes(), NBits: w.Len()}
+}
+
+// PointerWriter uses a *bitio.Writer received from elsewhere.
+func PointerWriter(w *bitio.Writer) dynet.Message {
+	w.WriteBool(true)
+	return dynet.Message{Payload: w.Bytes(), NBits: w.Len()}
+}

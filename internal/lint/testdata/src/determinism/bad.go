@@ -1,0 +1,25 @@
+// Package determinism is a lint fixture: every line carrying a
+// `// want:determinism` comment must be flagged by the determinism
+// analyzer, and no other line may be.
+package determinism
+
+import (
+	"math/rand" // want:determinism
+	"time"
+)
+
+// Roll draws from the global math/rand stream — not re-simulable.
+func Roll() int {
+	return rand.Intn(6) // want:determinism
+}
+
+// Stamp reads the wall clock twice.
+func Stamp() (time.Time, time.Duration) {
+	now := time.Now()           // want:determinism
+	return now, time.Since(now) // want:determinism
+}
+
+// Deadline uses time.Until, the third wall-clock reader.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want:determinism
+}

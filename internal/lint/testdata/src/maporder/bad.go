@@ -1,0 +1,62 @@
+// Package maporder is a lint fixture for the maporder analyzer.
+package maporder
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FirstKey returns whichever key the randomized iteration yields first.
+func FirstKey(m map[int]int) (int, error) {
+	for k := range m {
+		return k, nil // want:maporder
+	}
+	return 0, errors.New("empty")
+}
+
+// Keys builds a slice in randomized map order.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want:maporder
+	}
+	return out
+}
+
+// Mismatch formats an error naming an arbitrary map element.
+func Mismatch(m map[int]int64) error {
+	for k, v := range m {
+		if v != 0 {
+			return fmt.Errorf("node %d decided %d", k, v) // want:maporder
+		}
+	}
+	return nil
+}
+
+// Labels renders map entries with Sprintf inside the loop.
+func Labels(m map[int]string) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[k] = fmt.Sprintf("<%s>", v) // want:maporder
+	}
+	return out
+}
+
+// NestedEscape appends through a closure to a slice declared outside the
+// loop body.
+func NestedEscape(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		func() { out = append(out, k) }() // want:maporder
+	}
+	return out
+}
+
+// FieldAccumulate appends into a field that lives across iterations.
+type FieldAccumulate struct{ log []int }
+
+func (a *FieldAccumulate) Collect(m map[int]int) {
+	for k := range m {
+		a.log = append(a.log, k) // want:maporder
+	}
+}

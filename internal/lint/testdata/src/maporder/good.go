@@ -1,0 +1,76 @@
+package maporder
+
+import "sort"
+
+// Sum folds map values commutatively: order-independent.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Rekey writes elements keyed by the loop variable: order-independent.
+func Rekey(m map[int]int, dst []int) {
+	for k, v := range m {
+		dst[k] = v
+	}
+}
+
+// LocalAccumulate appends to a slice declared inside the loop body; the
+// slice dies each iteration, so order cannot escape.
+func LocalAccumulate(m map[int][]int) int {
+	total := 0
+	for _, row := range m {
+		var doubled []int
+		for _, v := range row {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// SortedKeys collects then sorts — deterministic, and the collection
+// step carries the allow justification.
+func SortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k) //lint:allow maporder sorted immediately below
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SliceRange iterates a slice, not a map: never flagged.
+func SliceRange(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// CopyRows clones each row with the append-copy idiom and a closure
+// return: the append target is a fresh conversion each iteration and the
+// closure's return does not exit the loop, so neither is flagged.
+func CopyRows(m map[int][]byte) map[int][]byte {
+	out := make(map[int][]byte, len(m))
+	for k, row := range m {
+		out[k] = append([]byte(nil), row...)
+		sort.Slice(out[k], func(i, j int) bool { return out[k][i] < out[k][j] })
+	}
+	return out
+}
+
+// Contains scans without leaking an element or its position.
+func Contains(m map[int]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}

@@ -1,0 +1,21 @@
+// Package panicfree is a lint fixture for the panicfree analyzer.
+package panicfree
+
+import "fmt"
+
+// Parse panics on bad input instead of returning an error.
+func Parse(s string) int {
+	if s == "" {
+		panic("empty input") // want:panicfree
+	}
+	return len(s)
+}
+
+// Deep panics inside a nested closure; still library code.
+func Deep(v int) func() {
+	return func() {
+		if v < 0 {
+			panic(fmt.Sprintf("negative %d", v)) // want:panicfree
+		}
+	}
+}

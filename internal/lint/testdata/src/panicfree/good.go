@@ -1,0 +1,48 @@
+package panicfree
+
+import "errors"
+
+// Validate returns an error like library code should.
+func Validate(s string) error {
+	if s == "" {
+		return errors.New("empty input")
+	}
+	return nil
+}
+
+// mustPositive is an invariant-check helper: panics are its whole job.
+func mustPositive(v int) int {
+	if v <= 0 {
+		panic("panicfree fixture: non-positive")
+	}
+	return v
+}
+
+// assertSorted is likewise an invariant helper by naming convention.
+func assertSorted(s []int) {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			panic("panicfree fixture: unsorted")
+		}
+	}
+}
+
+// check is the conventional bounds-guard helper name.
+func check(v, n int) {
+	if v < 0 || v >= n {
+		panic("panicfree fixture: out of range")
+	}
+}
+
+// Scale uses the helpers; no panic of its own.
+func Scale(v int) int {
+	return 2 * mustPositive(v)
+}
+
+// Allowed documents an impossible condition via the escape hatch.
+func Allowed(width int) {
+	if width < 0 || width > 64 {
+		//lint:allow panicfree width is fixed by the protocol designer; overflow is a programming error
+		panic("panicfree fixture: invalid width")
+	}
+}

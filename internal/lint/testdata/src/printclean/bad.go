@@ -1,0 +1,26 @@
+// Package printclean is a lint fixture for the printclean analyzer.
+package printclean
+
+import (
+	"fmt"
+	"os"
+)
+
+// Report writes straight to the terminal from library code.
+func Report(v int) {
+	fmt.Println("value:", v) // want:printclean
+	fmt.Printf("%d\n", v)    // want:printclean
+	fmt.Print(v)             // want:printclean
+}
+
+// Dump grabs the process stdout/stderr handles.
+func Dump(v int) {
+	fmt.Fprintf(os.Stdout, "%d\n", v) // want:printclean
+	fmt.Fprintln(os.Stderr, v)        // want:printclean
+}
+
+// Debug uses the builtin printers.
+func Debug(v int) {
+	print("debug: ") // want:printclean
+	println(v)       // want:printclean
+}

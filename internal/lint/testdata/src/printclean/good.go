@@ -1,0 +1,26 @@
+package printclean
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes to a caller-supplied writer: the library never chooses
+// the destination.
+func Render(w io.Writer, v int) {
+	fmt.Fprintf(w, "%d\n", v)
+}
+
+// Format builds strings without touching any stream.
+func Format(v int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<%d>", v)
+	return sb.String()
+}
+
+// println here is a local function, not the builtin.
+func Custom(v int) {
+	println := func(args ...interface{}) {}
+	println(v)
+}

@@ -62,6 +62,7 @@ type Sketch struct {
 // NewSketch returns an empty sketch with k copies.
 func NewSketch(k int) *Sketch {
 	if k < 2 {
+		//lint:allow panicfree the copy count is a protocol parameter fixed at construction, not runtime input
 		panic("counting: need at least 2 copies")
 	}
 	return &Sketch{k: k, mins: make(map[int64][]float32)}
@@ -112,7 +113,7 @@ func (s *Sketch) Merge(value int64, copy int, min float32) {
 func (s *Sketch) Values() []int64 {
 	out := make([]int64, 0, len(s.mins))
 	for v := range s.mins {
-		out = append(out, v)
+		out = append(out, v) //lint:allow maporder collected values are sorted on the next line
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -197,6 +198,7 @@ func (s *Sketch) PickRecord(src *rng.Source) (value int64, copy int, min float32
 // Theorem 7 lower bound at accuracy exactly 1/3.
 func MajorityThreshold(nPrime int, c float64) float64 {
 	if c <= 0 || c > 1.0/3 {
+		//lint:allow panicfree the margin is an experiment parameter; values outside (0, 1/3] contradict Theorem 8's premise
 		panic("counting: majority margin c must be in (0, 1/3]")
 	}
 	eps := c / 4

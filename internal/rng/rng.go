@@ -72,6 +72,7 @@ func (s *Source) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
+		//lint:allow panicfree mirrors math/rand.Intn's contract; a non-positive bound is a programming error
 		panic("rng: Intn with non-positive n")
 	}
 	// Rejection sampling to avoid modulo bias.

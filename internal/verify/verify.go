@@ -15,10 +15,13 @@ import (
 )
 
 // Termination checks that every node listed in who (nil = all) decided.
+// The audit is deterministic: nodes are scanned in ascending id order (for
+// nil who, explicitly by index), so the error always names the lowest
+// undecided node regardless of how Result is stored.
 func Termination(res *dynet.Result, who []int) error {
 	if who == nil {
-		for v, ok := range res.Decided {
-			if !ok {
+		for v := 0; v < len(res.Decided); v++ {
+			if !res.Decided[v] {
 				return fmt.Errorf("verify: node %d did not decide", v)
 			}
 		}
@@ -34,24 +37,29 @@ func Termination(res *dynet.Result, who []int) error {
 
 // Agreement checks that all decided nodes output the same value and
 // returns it. At least one node must have decided.
+//
+// The reference value is pinned to the lowest-id decided node and the
+// scan ascends from there, so both the returned value and the node named
+// in a mismatch error are deterministic functions of the execution — the
+// audit itself must never inject iteration-order nondeterminism into
+// reports that experiments and tests compare across runs.
 func Agreement(res *dynet.Result) (int64, error) {
-	first := int64(0)
-	seen := false
-	for v, ok := range res.Decided {
-		if !ok {
-			continue
-		}
-		if !seen {
-			first, seen = res.Outputs[v], true
-			continue
-		}
-		if res.Outputs[v] != first {
-			return 0, fmt.Errorf("verify: node %d decided %d, others decided %d",
-				v, res.Outputs[v], first)
+	ref := -1
+	for v := 0; v < len(res.Decided); v++ {
+		if res.Decided[v] {
+			ref = v
+			break
 		}
 	}
-	if !seen {
+	if ref == -1 {
 		return 0, fmt.Errorf("verify: no node decided")
+	}
+	first := res.Outputs[ref]
+	for v := ref + 1; v < len(res.Decided); v++ {
+		if res.Decided[v] && res.Outputs[v] != first {
+			return 0, fmt.Errorf("verify: node %d decided %d, but node %d decided %d",
+				v, res.Outputs[v], ref, first)
+		}
 	}
 	return first, nil
 }

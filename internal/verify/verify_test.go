@@ -41,6 +41,40 @@ func TestAgreement(t *testing.T) {
 	}
 }
 
+// TestAgreementDeterministic pins the audit's determinism contract: the
+// reference value is the lowest-id decided node's output, and a mismatch
+// error names the lowest-id disagreeing node together with the reference
+// node. Which node an auditor reports must never vary run to run.
+func TestAgreementDeterministic(t *testing.T) {
+	// Node 0 undecided: the reference must be node 1, not node 0.
+	v, err := Agreement(res([]int64{99, 7, 7}, []bool{false, true, true}))
+	if err != nil || v != 7 {
+		t.Errorf("reference not lowest decided node: got (%d, %v), want (7, nil)", v, err)
+	}
+	// Nodes 2 and 3 both disagree with node 1; node 2 must be named.
+	_, err = Agreement(res([]int64{0, 7, 8, 9}, []bool{false, true, true, true}))
+	if err == nil {
+		t.Fatal("disagreement accepted")
+	}
+	want := "verify: node 2 decided 8, but node 1 decided 7"
+	if err.Error() != want {
+		t.Errorf("mismatch report = %q, want %q (report must be deterministic)", err.Error(), want)
+	}
+}
+
+// TestTerminationDeterministic: with several undecided nodes the error
+// names the lowest id.
+func TestTerminationDeterministic(t *testing.T) {
+	r := res([]int64{0, 0, 0, 0}, []bool{true, false, true, false})
+	err := Termination(r, nil)
+	if err == nil {
+		t.Fatal("non-termination accepted")
+	}
+	if want := "verify: node 1 did not decide"; err.Error() != want {
+		t.Errorf("report = %q, want %q", err.Error(), want)
+	}
+}
+
 func TestValidity(t *testing.T) {
 	if err := Validity([]int64{0, 1, 0}, 1); err != nil {
 		t.Errorf("valid value rejected: %v", err)
