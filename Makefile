@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHOUT ?=
 
-.PHONY: build test race lint fuzz ci
+.PHONY: build test race lint fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +16,11 @@ race:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dynlint ./...
+
+# Regenerate the tracked benchmark baseline (BENCH_<date>.json). Set
+# BENCHOUT to override the output path, e.g. `make bench BENCHOUT=/tmp/b.json`.
+bench:
+	$(GO) run ./cmd/bench $(if $(BENCHOUT),-out $(BENCHOUT))
 
 # Short smoke run of every native fuzz target in internal/dynet.
 fuzz:

@@ -6,7 +6,8 @@
 //	go run ./cmd/report -out reports
 //
 // Runtime is a few minutes at the default scale; -quick shrinks every
-// sweep for a fast smoke run.
+// sweep for a fast smoke run, and -workers runs sweep cells concurrently
+// (the tables are identical at every worker count).
 package main
 
 import (
@@ -25,11 +26,13 @@ func main() {
 	log.SetPrefix("report: ")
 
 	var (
-		out   = flag.String("out", "reports", "output directory")
-		seed  = flag.Uint64("seed", 1, "public-coin seed")
-		quick = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
+		out     = flag.String("out", "reports", "output directory")
+		seed    = flag.Uint64("seed", 1, "public-coin seed")
+		quick   = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
+		workers = flag.Int("workers", 0, "concurrent sweep cells (<1 = GOMAXPROCS); does not change results")
 	)
 	flag.Parse()
+	dyndiam.SetSweepWorkers(*workers)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)

@@ -287,6 +287,13 @@ var (
 	Figure2                = harness.Figure2
 	Figure3                = harness.Figure3
 	MeasureDynamicDiameter = harness.MeasureDynamicDiameter
+	// SetSweepWorkers sets how many experiment cells the sweeps above run
+	// concurrently (w < 1 selects GOMAXPROCS) and returns the previous
+	// value. Tables are identical at every setting.
+	SetSweepWorkers = harness.SetSweepWorkers
+	SweepWorkers    = harness.SweepWorkers
+	// TrialSeeds derives per-trial seeds from a root seed by rng splitting.
+	TrialSeeds = harness.TrialSeeds
 )
 
 // GraphDOT renders a topology as Graphviz DOT with optional per-node fill

@@ -46,7 +46,8 @@ func ExampleDynamicDiameter() {
 	adv := dyndiam.RotatingStarAdversary(n)
 	graphs := make([]*dyndiam.Graph, 40)
 	for r := 1; r <= len(graphs); r++ {
-		graphs[r-1] = adv.Topology(r, make([]dyndiam.Action, n))
+		// Adversaries reuse the returned graph; clone to keep the trace.
+		graphs[r-1] = adv.Topology(r, make([]dyndiam.Action, n)).Clone()
 	}
 	d, exact := dyndiam.DynamicDiameter(graphs)
 	fmt.Printf("static diameter each round: %d, dynamic diameter: %d (exact: %v)\n",

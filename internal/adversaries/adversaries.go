@@ -40,8 +40,9 @@ func BoundedDiameter(n, targetDiam, extraEdges int, seed uint64) dynet.Adversary
 // dynamic diameter is n-1 (see the dynet diameter tests). It separates
 // "per-round diameter" from the paper's causal dynamic diameter.
 func RotatingStar(n int) dynet.Adversary {
+	g := graph.New(n)
 	return dynet.AdversaryFunc(func(r int, _ []dynet.Action) *graph.Graph {
-		g := graph.New(n)
+		g.Reset()
 		center := r % n
 		for v := 0; v < n; v++ {
 			if v != center {
@@ -61,6 +62,7 @@ type Churn struct {
 	extra   [][2]int
 	rewires int
 	src     *rng.Source
+	scratch *graph.Graph // reused round graph; see Adversary contract
 }
 
 // NewChurn builds a churn adversary over n nodes with extra random edges,
@@ -68,7 +70,7 @@ type Churn struct {
 func NewChurn(n, extra, rewires int, seed uint64) *Churn {
 	src := rng.New(seed)
 	tree := graph.RandomConnected(n, 0, src.Split('t'))
-	c := &Churn{n: n, base: tree, rewires: rewires, src: src}
+	c := &Churn{n: n, base: tree, rewires: rewires, src: src, scratch: graph.New(n)}
 	for i := 0; i < extra; i++ {
 		c.extra = append(c.extra, c.randomEdge())
 	}
@@ -89,7 +91,8 @@ func (c *Churn) Topology(r int, _ []dynet.Action) *graph.Graph {
 	for i := 0; i < c.rewires && len(c.extra) > 0; i++ {
 		c.extra[c.src.Intn(len(c.extra))] = c.randomEdge()
 	}
-	g := c.base.Clone()
+	g := c.scratch
+	g.CopyFrom(c.base)
 	for _, e := range c.extra {
 		g.AddEdge(e[0], e[1])
 	}
@@ -106,11 +109,13 @@ func (c *Churn) Topology(r int, _ []dynet.Action) *graph.Graph {
 // set growing only logarithmically in time.
 type Staller struct {
 	informed []bool
+	scratch  *graph.Graph
+	inf, uni []int
 }
 
 // NewStaller returns a staller believing only source is informed.
 func NewStaller(n, source int) *Staller {
-	s := &Staller{informed: make([]bool, n)}
+	s := &Staller{informed: make([]bool, n), scratch: graph.New(n)}
 	s.informed[source] = true
 	return s
 }
@@ -118,8 +123,9 @@ func NewStaller(n, source int) *Staller {
 // Topology implements dynet.Adversary.
 func (s *Staller) Topology(r int, actions []dynet.Action) *graph.Graph {
 	n := len(s.informed)
-	g := graph.New(n)
-	var informed, uninformed []int
+	g := s.scratch
+	g.Reset()
+	informed, uninformed := s.inf[:0], s.uni[:0]
 	gate := -1
 	for v := 0; v < n; v++ {
 		if s.informed[v] {
@@ -131,6 +137,7 @@ func (s *Staller) Topology(r int, actions []dynet.Action) *graph.Graph {
 			uninformed = append(uninformed, v)
 		}
 	}
+	s.inf, s.uni = informed, uninformed
 	for i := 0; i+1 < len(informed); i++ {
 		g.AddEdge(informed[i], informed[i+1])
 	}

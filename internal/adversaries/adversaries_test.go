@@ -19,7 +19,9 @@ func collect(t *testing.T, adv dynet.Adversary, n, rounds int) []*graph.Graph {
 		if !g.Connected() {
 			t.Fatalf("round %d: disconnected topology", r)
 		}
-		out[r-1] = g
+		// Adversaries may reuse the returned graph across calls; clone
+		// to hold the round's topology past the next Topology call.
+		out[r-1] = g.Clone()
 	}
 	return out
 }

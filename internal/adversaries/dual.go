@@ -26,6 +26,7 @@ type Dual struct {
 	Chooser func(r int, actions []dynet.Action, present []bool)
 
 	scratch []bool
+	g       *graph.Graph // reused round graph; see Adversary contract
 }
 
 // NewDual builds a dual-graph adversary. The reliable graph should be
@@ -36,6 +37,7 @@ func NewDual(reliable *graph.Graph, unreliable [][2]int, chooser func(r int, act
 		unreliable: unreliable,
 		Chooser:    chooser,
 		scratch:    make([]bool, len(unreliable)),
+		g:          graph.New(reliable.N()),
 	}
 }
 
@@ -59,7 +61,8 @@ func (d *Dual) Topology(r int, actions []dynet.Action) *graph.Graph {
 	if d.Chooser != nil {
 		d.Chooser(r, actions, d.scratch)
 	}
-	g := d.reliable.Clone()
+	g := d.g
+	g.CopyFrom(d.reliable)
 	for i, e := range d.unreliable {
 		if d.scratch[i] {
 			g.AddEdge(e[0], e[1])
@@ -77,6 +80,7 @@ type TInterval struct {
 	src         *rng.Source
 	stable      *graph.Graph
 	window      int
+	g           *graph.Graph // reused round graph; see Adversary contract
 }
 
 // NewTInterval builds a T-interval adversary over n nodes with the given
@@ -85,7 +89,7 @@ func NewTInterval(n, t, extra int, seed uint64) *TInterval {
 	if t < 1 {
 		t = 1
 	}
-	return &TInterval{n: n, t: t, extra: extra, src: rng.New(seed), window: -1}
+	return &TInterval{n: n, t: t, extra: extra, src: rng.New(seed), window: -1, g: graph.New(n)}
 }
 
 // Topology implements dynet.Adversary.
@@ -95,7 +99,8 @@ func (a *TInterval) Topology(r int, _ []dynet.Action) *graph.Graph {
 		a.window = w
 		a.stable = graph.RandomConnected(a.n, 0, a.src.Split('s', uint64(w)))
 	}
-	g := a.stable.Clone()
+	g := a.g
+	g.CopyFrom(a.stable)
 	round := a.src.Split('e', uint64(r))
 	for i := 0; i < a.extra; i++ {
 		u, v := round.Intn(a.n), round.Intn(a.n)

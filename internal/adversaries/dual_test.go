@@ -123,7 +123,7 @@ func TestTIntervalStability(t *testing.T) {
 				}
 			}
 		}
-		prev = g
+		prev = g.Clone() // the adversary reuses g on the next call
 	}
 }
 
@@ -131,7 +131,7 @@ func TestTIntervalChangesAcrossWindows(t *testing.T) {
 	const n, T = 30, 4
 	adv := NewTInterval(n, T, 0, 2)
 	actions := make([]dynet.Action, n)
-	g1 := adv.Topology(1, actions)
+	g1 := adv.Topology(1, actions).Clone() // reused on the next call
 	g2 := adv.Topology(T+1, actions)
 	same := true
 	for _, e := range g1.Edges() {

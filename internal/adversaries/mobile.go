@@ -20,6 +20,7 @@ type Mobile struct {
 	speed  float64
 	src    *rng.Source
 	x, y   []float64
+	g      *graph.Graph // reused round graph; see Adversary contract
 	// Patches counts backbone edges added so far (observability for
 	// tests and experiments: how often the disk graph fragmented).
 	Patches int
@@ -33,6 +34,7 @@ func NewMobile(n int, radius, speed float64, seed uint64) *Mobile {
 		src: rng.New(seed),
 		x:   make([]float64, n),
 		y:   make([]float64, n),
+		g:   graph.New(n),
 	}
 	for v := 0; v < n; v++ {
 		m.x[v] = m.src.Float64()
@@ -49,7 +51,8 @@ func (m *Mobile) Topology(r int, _ []dynet.Action) *graph.Graph {
 		m.x[v] = clamp01(m.x[v] + m.speed*math.Cos(angle))
 		m.y[v] = clamp01(m.y[v] + m.speed*math.Sin(angle))
 	}
-	g := graph.New(m.n)
+	g := m.g
+	g.Reset()
 	r2 := m.radius * m.radius
 	for u := 0; u < m.n; u++ {
 		for v := u + 1; v < m.n; v++ {
@@ -106,12 +109,12 @@ func components(g *graph.Graph) [][]int {
 			v := queue[0]
 			queue = queue[1:]
 			comp = append(comp, v)
-			g.ForEachNeighbor(v, func(u int) {
-				if !seen[u] {
+			for _, u32 := range g.Adj(v) {
+				if u := int(u32); !seen[u] {
 					seen[u] = true
 					queue = append(queue, u)
 				}
-			})
+			}
 		}
 		out = append(out, comp)
 	}

@@ -44,7 +44,7 @@ func TestMobilePatchesSparseGraphs(t *testing.T) {
 func TestMobileTopologyChanges(t *testing.T) {
 	m := NewMobile(20, 0.3, 0.08, 5)
 	actions := make([]dynet.Action, 20)
-	g1 := m.Topology(1, actions)
+	g1 := m.Topology(1, actions).Clone() // reused on the next call
 	changed := false
 	for r := 2; r <= 20 && !changed; r++ {
 		g2 := m.Topology(r, actions)

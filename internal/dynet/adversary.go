@@ -10,7 +10,10 @@ type Adversary interface {
 	// committed action for round r. The returned graph must span all N
 	// nodes and be connected; the engine verifies connectivity when
 	// CheckConnectivity is set. The engine treats the result as read-only
-	// for the duration of the round.
+	// for the duration of the round, and adversaries may reuse the same
+	// Graph value across calls: the result is only valid until the next
+	// Topology call. Callers that keep topologies across rounds (e.g. a
+	// Trace with KeepTopologies) must Clone them.
 	Topology(r int, actions []Action) *graph.Graph
 }
 

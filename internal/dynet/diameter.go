@@ -65,10 +65,11 @@ func SpreadFrom(graphs []*graph.Graph, r int) int {
 	for z := 1; r+z-1 < len(graphs); z++ {
 		g := graphs[r+z-1] // topology of round r+z
 		for v := 0; v < n; v++ {
-			copy(next[v], inf[v])
-			g.ForEachNeighbor(v, func(u int) {
-				next[v].orInto(inf[u])
-			})
+			nv := next[v]
+			copy(nv, inf[v])
+			for _, u := range g.Adj(v) {
+				nv.orInto(inf[u])
+			}
 		}
 		inf, next = next, inf
 		done := true

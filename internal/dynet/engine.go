@@ -3,7 +3,6 @@ package dynet
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"dyndiam/internal/graph"
@@ -55,6 +54,12 @@ type Result struct {
 // Run executes up to maxRounds rounds, stopping early when the termination
 // predicate holds. It returns an error on model violations (bit budget or
 // connectivity).
+//
+// The round loop is steady-state allocation-free: inbox backing arrays are
+// reused across rounds, inboxes are assembled by an in-place insertion sort
+// over the already-ascending neighbor order (no sort.Slice closure), and
+// the connectivity check runs over preallocated scratch buffers. Per-round
+// allocations, if any, come from the machines or the adversary.
 func (e *Engine) Run(maxRounds int) (*Result, error) {
 	n := len(e.Machines)
 	if n == 0 {
@@ -80,12 +85,15 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 	actions := make([]Action, n)
 	outgoing := make([]Message, n)
 	inboxes := make([][]Message, n)
+	var dist, queue []int32
+	if e.CheckConnectivity {
+		dist = make([]int32, n)
+		queue = make([]int32, n)
+	}
 
 	for r := 1; r <= maxRounds; r++ {
 		// Phase 1: coin flips and send/receive commitment.
-		if err := e.step(r, actions, outgoing, workers); err != nil {
-			return nil, err
-		}
+		e.step(r, actions, outgoing, workers)
 		for v := 0; v < n; v++ {
 			if actions[v] == Send {
 				if outgoing[v].NBits > budget {
@@ -101,12 +109,12 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		if g == nil || g.N() != n {
 			return nil, fmt.Errorf("dynet: adversary returned topology over %v nodes, want %d", gN(g), n)
 		}
-		if e.CheckConnectivity && !g.Connected() {
+		if e.CheckConnectivity && !g.ConnectedInto(dist, queue) {
 			return nil, fmt.Errorf("dynet: adversary returned disconnected topology in round %d", r)
 		}
 
 		// Phase 3: delivery to receiving nodes.
-		e.collect(g, actions, outgoing, inboxes)
+		collect(g, actions, outgoing, inboxes)
 		e.deliver(r, actions, inboxes, workers)
 
 		if e.Trace != nil {
@@ -125,7 +133,10 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 	for v, m := range e.Machines {
 		res.Outputs[v], res.Decided[v] = m.Output()
 	}
-	if !res.Done {
+	if !res.Done && maxRounds < 1 {
+		// The loop never ran, so the predicate was never evaluated; ask
+		// once. (After a full loop the last in-loop evaluation is already
+		// authoritative — machines do not change between rounds.)
 		res.Done = terminated(e.Machines)
 	}
 	return res, nil
@@ -157,39 +168,55 @@ func NodeDecided(v int) func([]Machine) bool {
 	}
 }
 
-func (e *Engine) step(r int, actions []Action, outgoing []Message, workers int) error {
+func (e *Engine) step(r int, actions []Action, outgoing []Message, workers int) {
 	n := len(e.Machines)
 	if workers <= 1 {
 		for v := 0; v < n; v++ {
 			actions[v], outgoing[v] = e.Machines[v].Step(r)
 			outgoing[v].From = v
 		}
-		return nil
+		return
 	}
 	parallelFor(n, workers, func(v int) {
 		actions[v], outgoing[v] = e.Machines[v].Step(r)
 		outgoing[v].From = v
 	})
-	return nil
 }
 
 // collect builds each receiving node's inbox: the messages of its sending
-// neighbors, ordered by sender id for determinism.
-func (e *Engine) collect(g *graph.Graph, actions []Action, outgoing []Message, inboxes [][]Message) {
-	n := len(e.Machines)
-	for v := 0; v < n; v++ {
-		inboxes[v] = inboxes[v][:0]
-		if actions[v] != Receive {
+// neighbors, ordered by sender id. Adjacency lists are sorted ascending, so
+// the inbox comes out ordered already; sortByFrom is a pure-safety pass
+// that costs one comparison per message on that sorted input.
+func collect(g *graph.Graph, actions []Action, outgoing []Message, inboxes [][]Message) {
+	for v := range inboxes {
+		inbox := inboxes[v][:0]
+		if actions[v] == Receive {
+			for _, u := range g.Adj(v) {
+				if actions[u] == Send {
+					inbox = append(inbox, outgoing[u])
+				}
+			}
+			sortByFrom(inbox)
+		}
+		inboxes[v] = inbox
+	}
+}
+
+// sortByFrom sorts messages by sender id with an in-place insertion sort:
+// O(k) on the already-ascending inboxes the engine assembles, and free of
+// the closure allocation sort.Slice would pay per node per round.
+func sortByFrom(msgs []Message) {
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i-1].From <= msgs[i].From {
 			continue
 		}
-		g.ForEachNeighbor(v, func(u int) {
-			if actions[u] == Send {
-				inboxes[v] = append(inboxes[v], outgoing[u])
-			}
-		})
-		sort.Slice(inboxes[v], func(i, j int) bool {
-			return inboxes[v][i].From < inboxes[v][j].From
-		})
+		m := msgs[i]
+		j := i
+		for j > 0 && msgs[j-1].From > m.From {
+			msgs[j] = msgs[j-1]
+			j--
+		}
+		msgs[j] = m
 	}
 }
 

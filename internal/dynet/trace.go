@@ -13,12 +13,16 @@ type RoundStats struct {
 
 // Trace records an execution round by round. Keeping topologies costs
 // O(rounds * edges) memory; enable it only when the dynamic diameter or the
-// reduction referee needs them.
+// reduction referee needs them. Snapshots are carved from a pooled arena
+// (graph.Cloner), so recording thousands of rounds costs amortized one
+// allocation per snapshot rather than one per vertex.
 type Trace struct {
 	// KeepTopologies stores a clone of every round's graph.
 	KeepTopologies bool
 
 	Stats []RoundStats
+
+	cloner graph.Cloner
 }
 
 func (t *Trace) record(r int, g *graph.Graph, actions []Action, outgoing []Message) {
@@ -30,7 +34,7 @@ func (t *Trace) record(r int, g *graph.Graph, actions []Action, outgoing []Messa
 		}
 	}
 	if t.KeepTopologies {
-		st.Topology = g.Clone()
+		st.Topology = t.cloner.Clone(g)
 	}
 	t.Stats = append(t.Stats, st)
 }

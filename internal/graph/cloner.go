@@ -1,0 +1,68 @@
+package graph
+
+// Cloner clones graphs into shared, chunked arenas, amortizing the
+// per-snapshot allocations that a plain Clone pays. A Trace that records
+// thousands of round topologies asks its Cloner for each snapshot; the
+// Cloner carves neighbor storage and header slices out of geometrically
+// growing chunks, so the amortized allocation count per snapshot approaches
+// one (the Graph value itself).
+//
+// Cloned graphs remain independently mutable: every neighbor list is capped
+// at its own arena region, so a later AddEdge reallocates that vertex's
+// list instead of overwriting a neighbor's storage. A Cloner is not safe
+// for concurrent use.
+type Cloner struct {
+	ints []int32   // current int32 chunk, len = used prefix
+	hdrs [][]int32 // current header chunk, len = used prefix
+}
+
+const clonerMinChunk = 1 << 10
+
+// grabInts returns a zeroed-length slice with capacity need carved from the
+// current chunk, growing the chunk when exhausted.
+func (c *Cloner) grabInts(need int) []int32 {
+	if cap(c.ints)-len(c.ints) < need {
+		size := 2 * cap(c.ints)
+		if size < clonerMinChunk {
+			size = clonerMinChunk
+		}
+		if size < need {
+			size = need
+		}
+		c.ints = make([]int32, 0, size)
+	}
+	off := len(c.ints)
+	c.ints = c.ints[:off+need]
+	return c.ints[off : off+need : off+need]
+}
+
+func (c *Cloner) grabHdrs(need int) [][]int32 {
+	if cap(c.hdrs)-len(c.hdrs) < need {
+		size := 2 * cap(c.hdrs)
+		if size < clonerMinChunk {
+			size = clonerMinChunk
+		}
+		if size < need {
+			size = need
+		}
+		c.hdrs = make([][]int32, 0, size)
+	}
+	off := len(c.hdrs)
+	c.hdrs = c.hdrs[:off+need]
+	return c.hdrs[off : off+need : off+need]
+}
+
+// Clone returns a deep copy of g backed by the Cloner's arenas.
+func (c *Cloner) Clone(g *Graph) *Graph {
+	out := &Graph{n: g.n, m: g.m, adj: c.grabHdrs(g.n)}
+	flat := c.grabInts(2 * g.m)
+	o := 0
+	for v, nb := range g.adj {
+		d := len(nb)
+		dst := flat[o : o+d : o+d]
+		copy(dst, nb)
+		out.adj[v] = dst
+		o += d
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dyndiam/internal/rng"
+)
+
+// The sweep functions (GapTable, LeaderSweep, EstimateSweep, MajoritySweep,
+// ConsensusGap) are grids of independent cells: every cell derives all of
+// its randomness from a seed that is a pure function of the sweep seed and
+// the cell's parameters — never of execution order — and writes only its
+// own result slot. Running cells concurrently therefore yields tables
+// identical to sequential execution, whatever SweepWorkers is set to.
+
+var sweepWorkers int64 = 1
+
+// SetSweepWorkers sets how many experiment cells run concurrently in the
+// sweep functions and returns the previous value. w < 1 selects
+// GOMAXPROCS. The setting changes wall-clock time only, never results.
+func SetSweepWorkers(w int) int {
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return int(atomic.SwapInt64(&sweepWorkers, int64(w)))
+}
+
+// SweepWorkers returns the current sweep concurrency.
+func SweepWorkers() int { return int(atomic.LoadInt64(&sweepWorkers)) }
+
+// forEachCell runs fn(i) for every cell index in [0, cells) across
+// SweepWorkers goroutines. All cells run to completion; the lowest-index
+// error is returned, which is the error a sequential sweep reports first.
+func forEachCell(cells int, fn func(i int) error) error {
+	workers := SweepWorkers()
+	if workers > cells {
+		workers = cells
+	}
+	if workers <= 1 {
+		for i := 0; i < cells; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, cells)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= cells {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrialSeeds derives trials independent seeds from root by rng splitting.
+// Trial t's seed depends only on (root, t), so repeated-trial sweeps stay
+// reproducible cell by cell no matter how cells are scheduled.
+func TrialSeeds(root uint64, trials int) []uint64 {
+	src := rng.New(root)
+	out := make([]uint64, trials)
+	for t := range out {
+		out[t] = src.Split('t', uint64(t)).Uint64()
+	}
+	return out
+}

@@ -63,14 +63,15 @@ type GapRow struct {
 // diameter over a low-diameter dynamic network family, next to the
 // Ω((N/log N)^¼) lower-bound curve for the unknown case.
 func GapTable(sizes []int, targetDiam int, seed uint64) ([]GapRow, error) {
-	var rows []GapRow
-	for _, n := range sizes {
+	rows := make([]GapRow, len(sizes))
+	err := forEachCell(len(sizes), func(i int) error {
+		n := sizes[i]
 		makeAdv := func() dynet.Adversary {
 			return adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n))
 		}
 		d, err := MeasureDynamicDiameter(makeAdv(), n, 6*targetDiam+60)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := GapRow{N: n, D: d}
 		row.LowerBoundFR = math.Pow(float64(n)/math.Log2(float64(n)), 0.25)
@@ -96,17 +97,21 @@ func GapTable(sizes []int, targetDiam int, seed uint64) ([]GapRow, error) {
 
 		known, okKnown, err := run(map[string]int64{flood.ExtraD: int64(d)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		unknown, okUnknown, err := run(nil) // pessimistic D = N-1
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.KnownRounds, row.UnknownRounds = known, unknown
 		row.KnownFR = float64(known) / float64(d)
 		row.UnknownFR = float64(unknown) / float64(d)
 		row.OutputsCorrect = okKnown && okUnknown
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -138,13 +143,14 @@ type LeaderRow struct {
 // low-diameter dynamic family, with N' skewed by nprimeFactor (e.g. 0.85)
 // under margin cPermille.
 func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille int64, seed uint64) ([]LeaderRow, error) {
-	var rows []LeaderRow
-	for _, n := range sizes {
+	rows := make([]LeaderRow, len(sizes))
+	err := forEachCell(len(sizes), func(i int) error {
+		n := sizes[i]
 		adv := adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n))
 		d, err := MeasureDynamicDiameter(
 			adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n)), n, 6*targetDiam+60)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		extra := map[string]int64{
 			leader.ExtraNPrime:    int64(nprimeFactor * float64(n)),
@@ -155,10 +161,10 @@ func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille in
 		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
 		res, err := e.Run(50000000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !res.Done {
-			return nil, fmt.Errorf("harness: leader election did not terminate for N=%d", n)
+			return fmt.Errorf("harness: leader election did not terminate for N=%d", n)
 		}
 		correct := true
 		for _, out := range res.Outputs {
@@ -171,7 +177,7 @@ func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille in
 			failed += leader.FailedCandidacies(m)
 		}
 		logN := math.Log2(float64(n))
-		rows = append(rows, LeaderRow{
+		rows[i] = LeaderRow{
 			N:             n,
 			D:             d,
 			Rounds:        res.Rounds,
@@ -179,7 +185,11 @@ func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille in
 			PerDLog2:      float64(res.Rounds) / (float64(d) + logN) / (logN * logN),
 			Correct:       correct,
 			FailedLockers: failed,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -210,39 +220,45 @@ type EstimateRow struct {
 // on a low-diameter dynamic family (E5: obtaining N' with known D in
 // O(log N) flooding rounds).
 func EstimateSweep(sizes, ks []int, targetDiam int, seed uint64) ([]EstimateRow, error) {
-	var rows []EstimateRow
-	for _, n := range sizes {
+	rows := make([]EstimateRow, len(sizes)*len(ks))
+	err := forEachCell(len(rows), func(i int) error {
+		// Cell (n, k); the diameter measurement repeats per k but is a
+		// pure function of (n, seed), so every k-cell of one n sees the
+		// same d the sequential sweep computed once.
+		n, k := sizes[i/len(ks)], ks[i%len(ks)]
 		d, err := MeasureDynamicDiameter(
 			adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n)), n, 6*targetDiam+60)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, k := range ks {
-			adv := adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n))
-			w := bitio.WidthFor(n + 1)
-			rounds := 4 * k * (d + w)
-			ms := dynet.NewMachines(counting.EstimateN{}, n, nil, seed+uint64(k), map[string]int64{
-				counting.ExtraD: int64(d), counting.ExtraK: int64(k),
-				counting.ExtraRounds: int64(rounds),
-			})
-			e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
-			res, err := e.Run(rounds + 10)
-			if err != nil || !res.Done {
-				return nil, fmt.Errorf("harness: estimate run failed: %v", err)
-			}
-			var sum, max float64
-			for _, out := range res.Outputs {
-				rel := math.Abs(float64(out)-float64(n)) / float64(n)
-				sum += rel
-				if rel > max {
-					max = rel
-				}
-			}
-			rows = append(rows, EstimateRow{
-				N: n, K: k, D: d, Rounds: res.Rounds,
-				MeanErr: sum / float64(n), MaxErr: max,
-			})
+		adv := adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n))
+		w := bitio.WidthFor(n + 1)
+		rounds := 4 * k * (d + w)
+		ms := dynet.NewMachines(counting.EstimateN{}, n, nil, seed+uint64(k), map[string]int64{
+			counting.ExtraD: int64(d), counting.ExtraK: int64(k),
+			counting.ExtraRounds: int64(rounds),
+		})
+		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
+		res, err := e.Run(rounds + 10)
+		if err != nil || !res.Done {
+			return fmt.Errorf("harness: estimate run failed: %v", err)
 		}
+		var sum, max float64
+		for _, out := range res.Outputs {
+			rel := math.Abs(float64(out)-float64(n)) / float64(n)
+			sum += rel
+			if rel > max {
+				max = rel
+			}
+		}
+		rows[i] = EstimateRow{
+			N: n, K: k, D: d, Rounds: res.Rounds,
+			MeanErr: sum / float64(n), MaxErr: max,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -270,13 +286,14 @@ type MajorityRow struct {
 // MajoritySweep measures the one-sided majority counter (E6) across holder
 // fractions.
 func MajoritySweep(n int, fracs []float64, targetDiam int, seed uint64) ([]MajorityRow, error) {
-	var rows []MajorityRow
 	d, err := MeasureDynamicDiameter(
 		adversaries.BoundedDiameter(n, targetDiam, n/2, seed), n, 6*targetDiam+60)
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range fracs {
+	rows := make([]MajorityRow, len(fracs))
+	cellErr := forEachCell(len(fracs), func(i int) error {
+		f := fracs[i]
 		holders := int(f * float64(n))
 		inputs := make([]int64, n)
 		for v := 0; v < holders; v++ {
@@ -289,7 +306,7 @@ func MajoritySweep(n int, fracs []float64, targetDiam int, seed uint64) ([]Major
 		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
 		res, err := e.Run(10000000)
 		if err != nil || !res.Done {
-			return nil, fmt.Errorf("harness: majority probe failed: %v", err)
+			return fmt.Errorf("harness: majority probe failed: %v", err)
 		}
 		row := MajorityRow{N: n, HolderFrac: f}
 		for v := 0; v < holders; v++ {
@@ -300,7 +317,11 @@ func MajoritySweep(n int, fracs []float64, targetDiam int, seed uint64) ([]Major
 				}
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if cellErr != nil {
+		return nil, cellErr
 	}
 	return rows, nil
 }
@@ -328,12 +349,13 @@ type ConsensusGapRow struct {
 
 // ConsensusGap runs consensus.KnownD and consensus.ViaLeader side by side.
 func ConsensusGap(sizes []int, targetDiam int, seed uint64) ([]ConsensusGapRow, error) {
-	var rows []ConsensusGapRow
-	for _, n := range sizes {
+	rows := make([]ConsensusGapRow, len(sizes))
+	err := forEachCell(len(sizes), func(i int) error {
+		n := sizes[i]
 		d, err := MeasureDynamicDiameter(
 			adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n)), n, 6*targetDiam+60)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		inputs := make([]int64, n)
 		for v := range inputs {
@@ -363,16 +385,20 @@ func ConsensusGap(sizes []int, targetDiam int, seed uint64) ([]ConsensusGapRow, 
 
 		kRounds, kOK, err := run(consensus.KnownD{}, map[string]int64{consensus.ExtraD: int64(d)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vRounds, vOK, err := run(consensus.ViaLeader{}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ConsensusGapRow{
+		rows[i] = ConsensusGapRow{
 			N: n, D: d, KnownRounds: kRounds, ViaLeaderRnds: vRounds,
 			BothCorrect: kOK && vOK,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

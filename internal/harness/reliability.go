@@ -23,29 +23,35 @@ type Reliability struct {
 // error <= 1/N) and the termination-round distribution.
 func LeaderReliability(n, targetDiam, trials int, extra map[string]int64) (Reliability, error) {
 	rel := Reliability{Trials: trials}
-	rounds := make([]float64, 0, trials)
-	for trial := 0; trial < trials; trial++ {
+	rounds := make([]float64, trials)
+	failed := make([]bool, trials)
+	err := forEachCell(trials, func(trial int) error {
 		seed := uint64(trial)*2654435761 + 1
 		adv := adversaries.BoundedDiameter(n, targetDiam, n/2, seed)
 		ms := dynet.NewMachines(leader.Protocol{}, n, make([]int64, n), seed, extra)
 		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
 		res, err := e.Run(50000000)
 		if err != nil {
-			return rel, err
+			return err
 		}
 		if !res.Done {
-			return rel, fmt.Errorf("harness: trial %d did not terminate", trial)
+			return fmt.Errorf("harness: trial %d did not terminate", trial)
 		}
-		ok := true
 		for _, out := range res.Outputs {
 			if out != int64(n-1) {
-				ok = false
+				failed[trial] = true
 			}
 		}
-		if !ok {
+		rounds[trial] = float64(res.Rounds)
+		return nil
+	})
+	if err != nil {
+		return rel, err
+	}
+	for _, f := range failed {
+		if f {
 			rel.Errors++
 		}
-		rounds = append(rounds, float64(res.Rounds))
 	}
 	rel.ErrorRate = float64(rel.Errors) / float64(trials)
 	rel.Rounds = stats.Summarize(rounds)

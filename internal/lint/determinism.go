@@ -25,6 +25,10 @@ var Determinism = &Analyzer{
 			"internal/adversaries",
 			"internal/chains",
 			"internal/subnet",
+			// The sweep harness derives every cell's seed as a pure
+			// function of (sweep seed, cell params) so tables are identical
+			// at any worker count; ambient randomness would break that.
+			"internal/harness",
 		)
 	},
 	Run: runDeterminism,

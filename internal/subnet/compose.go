@@ -87,6 +87,15 @@ func (c *CFloodNet) Bridges() [][2]int {
 // "middle receives" schedule). Round 0 is the initial topology.
 func (c *CFloodNet) Topology(p chains.Party, r int, actions []dynet.Action) *graph.Graph {
 	g := graph.New(c.N)
+	c.TopologyInto(g, p, r, actions)
+	return g
+}
+
+// TopologyInto renders the round-r graph under party p into g, which must
+// span c.N vertices; existing edges are discarded. It is the allocation-free
+// form of Topology for callers that reuse one scratch graph per round.
+func (c *CFloodNet) TopologyInto(g *graph.Graph, p chains.Party, r int, actions []dynet.Action) {
+	g.Reset()
 	mid := midRecv(actions)
 	c.Gamma.AddEdges(g, p, r, mid)
 	c.Lambda.AddEdges(g, p, r, mid)
@@ -96,14 +105,16 @@ func (c *CFloodNet) Topology(p chains.Party, r int, actions []dynet.Action) *gra
 	if p == chains.Reference && c.hasRef {
 		g.AddEdge(c.refBridge[0], c.refBridge[1])
 	}
-	return g
 }
 
 // Adversary returns the dynet adversary presenting this network under
 // party p (Reference for real executions; Alice/Bob for simulated views).
+// Per the Adversary contract the returned graph is reused between rounds.
 func (c *CFloodNet) Adversary(p chains.Party) dynet.Adversary {
+	g := graph.New(c.N)
 	return dynet.AdversaryFunc(func(r int, actions []dynet.Action) *graph.Graph {
-		return c.Topology(p, r, actions)
+		c.TopologyInto(g, p, r, actions)
+		return g
 	})
 }
 
@@ -200,6 +211,15 @@ func (c *ConsensusNet) Inputs() []int64 {
 // only the Λ ids (padded to the same vertex count for comparability).
 func (c *ConsensusNet) Topology(p chains.Party, r int, actions []dynet.Action) *graph.Graph {
 	g := graph.New(c.N)
+	c.TopologyInto(g, p, r, actions)
+	return g
+}
+
+// TopologyInto renders the round-r graph under party p into g, which must
+// span c.N vertices; existing edges are discarded. It is the allocation-free
+// form of Topology for callers that reuse one scratch graph per round.
+func (c *ConsensusNet) TopologyInto(g *graph.Graph, p chains.Party, r int, actions []dynet.Action) {
+	g.Reset()
 	mid := midRecv(actions)
 	c.Lambda.AddEdges(g, p, r, mid)
 	if p == chains.Reference && c.Upsilon != nil {
@@ -208,13 +228,15 @@ func (c *ConsensusNet) Topology(p chains.Party, r int, actions []dynet.Action) *
 			g.AddEdge(c.bridge[0], c.bridge[1])
 		}
 	}
-	return g
 }
 
-// Adversary returns the dynet adversary for party p.
+// Adversary returns the dynet adversary for party p. Per the Adversary
+// contract the returned graph is reused between rounds.
 func (c *ConsensusNet) Adversary(p chains.Party) dynet.Adversary {
+	g := graph.New(c.N)
 	return dynet.AdversaryFunc(func(r int, actions []dynet.Action) *graph.Graph {
-		return c.Topology(p, r, actions)
+		c.TopologyInto(g, p, r, actions)
+		return g
 	})
 }
 

@@ -28,7 +28,6 @@ package twoparty
 import (
 	"bytes"
 	"fmt"
-	"sort"
 
 	"dyndiam/internal/chains"
 	"dyndiam/internal/dynet"
@@ -51,6 +50,10 @@ type Setup struct {
 	Horizon int
 	// Topology renders the network under a party's adversary.
 	Topology func(p chains.Party, r int, actions []dynet.Action) *graph.Graph
+	// TopologyInto, when non-nil, is the allocation-free form of Topology:
+	// it renders into a caller-owned scratch graph. Run and the referee
+	// prefer it, falling back to Topology.
+	TopologyInto func(g *graph.Graph, p chains.Party, r int, actions []dynet.Action)
 	// Spoiled[party][v] is the first round from whose beginning v is
 	// spoiled for the party (subnet.Never if never).
 	Spoiled map[chains.Party][]int
@@ -106,6 +109,9 @@ func FromCFlood(net *subnet.CFloodNet, oracle dynet.Protocol, seed uint64, extra
 		Topology: func(p chains.Party, r int, actions []dynet.Action) *graph.Graph {
 			return net.Topology(p, r, actions)
 		},
+		TopologyInto: func(g *graph.Graph, p chains.Party, r int, actions []dynet.Action) {
+			net.TopologyInto(g, p, r, actions)
+		},
 		Spoiled: map[chains.Party][]int{
 			chains.Alice: net.SpoiledFrom(chains.Alice),
 			chains.Bob:   net.SpoiledFrom(chains.Bob),
@@ -136,6 +142,9 @@ func FromConsensus(net *subnet.ConsensusNet, oracle dynet.Protocol, seed uint64,
 		Horizon: net.Horizon(),
 		Topology: func(p chains.Party, r int, actions []dynet.Action) *graph.Graph {
 			return net.Topology(p, r, actions)
+		},
+		TopologyInto: func(g *graph.Graph, p chains.Party, r int, actions []dynet.Action) {
+			net.TopologyInto(g, p, r, actions)
 		},
 		Spoiled: map[chains.Party][]int{
 			chains.Alice: net.SpoiledFrom(chains.Alice),
@@ -175,6 +184,88 @@ type roundRecord struct {
 	inbox   []dynet.Message // delivered messages (receivers only)
 }
 
+// byteArena carves many small payload copies out of few large chunks. Slices
+// it returns are capped, so appending to one cannot clobber a neighbor.
+type byteArena struct{ buf []byte }
+
+func (a *byteArena) copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(a.buf)+len(b) > cap(a.buf) {
+		// Chunks double up to 64 KiB: small runs stay small, long referee
+		// runs amortize to a handful of allocations.
+		size := 2 * cap(a.buf)
+		if size < 1<<10 {
+			size = 1 << 10
+		}
+		if size > 1<<16 {
+			size = 1 << 16
+		}
+		if len(b) > size {
+			size = len(b)
+		}
+		a.buf = make([]byte, 0, size)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, b...)
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
+// msgArena is byteArena for inbox snapshots.
+type msgArena struct{ buf []dynet.Message }
+
+func (a *msgArena) copyMsgs(msgs []dynet.Message) []dynet.Message {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if len(a.buf)+len(msgs) > cap(a.buf) {
+		size := 2 * cap(a.buf)
+		if size < 1<<6 {
+			size = 1 << 6
+		}
+		if size > 1<<12 {
+			size = 1 << 12
+		}
+		if len(msgs) > size {
+			size = len(msgs)
+		}
+		a.buf = make([]dynet.Message, 0, size)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, msgs...)
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
+// topologyInto renders round r under p through the allocation-free form
+// when the setup provides one, falling back to the allocating Topology.
+func (s Setup) topologyInto(scratch *graph.Graph, p chains.Party, r int, actions []dynet.Action) *graph.Graph {
+	if s.TopologyInto != nil {
+		s.TopologyInto(scratch, p, r, actions)
+		return scratch
+	}
+	return s.Topology(p, r, actions)
+}
+
+// sortInbox orders messages by sender id. Inboxes are assembled by walking
+// ascending adjacency lists, so the input is already sorted and this
+// insertion sort costs one comparison per message (it avoids the closure
+// allocation of sort.Slice).
+func sortInbox(msgs []dynet.Message) {
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i-1].From <= msgs[i].From {
+			continue
+		}
+		m := msgs[i]
+		j := i
+		for j > 0 && msgs[j-1].From > m.From {
+			msgs[j] = msgs[j-1]
+			j--
+		}
+		msgs[j] = m
+	}
+}
+
 // referenceRun executes the true network under the reference adversary for
 // the horizon, recording every node's behavior per round.
 func (s Setup) referenceRun() ([][]roundRecord, []dynet.Machine) {
@@ -183,33 +274,44 @@ func (s Setup) referenceRun() ([][]roundRecord, []dynet.Machine) {
 	for v := 0; v < n; v++ {
 		ms[v] = s.newMachine(v)
 	}
+	// Rounds are carved from one flat arena (see Run); inboxes are staged
+	// in a scratch buffer and copied out at their exact size.
+	flat := make([]roundRecord, s.Horizon*n)
 	records := make([][]roundRecord, s.Horizon+1) // 1-based rounds
+	for r := 1; r <= s.Horizon; r++ {
+		records[r] = flat[(r-1)*n : r*n : r*n]
+	}
 	actions := make([]dynet.Action, n)
 	outgoing := make([]dynet.Message, n)
+	scratch := graph.New(n)
+	var payloads byteArena
+	var inboxes msgArena
+	var inboxBuf []dynet.Message
 	for r := 1; r <= s.Horizon; r++ {
-		records[r] = make([]roundRecord, n)
 		for v := 0; v < n; v++ {
 			act, msg := ms[v].Step(r)
 			actions[v], outgoing[v] = act, msg
 			outgoing[v].From = v
 			records[r][v].action = act
 			if act == dynet.Send {
-				records[r][v].payload = append([]byte(nil), msg.Payload...)
+				records[r][v].payload = payloads.copyBytes(msg.Payload)
 				records[r][v].nbits = msg.NBits
 			}
 		}
-		topo := s.Topology(chains.Reference, r, actions)
+		topo := s.topologyInto(scratch, chains.Reference, r, actions)
 		for v := 0; v < n; v++ {
 			if actions[v] != dynet.Receive {
 				continue
 			}
-			var inbox []dynet.Message
-			topo.ForEachNeighbor(v, func(u int) {
-				if actions[u] == dynet.Send {
-					inbox = append(inbox, outgoing[u])
+			buf := inboxBuf[:0]
+			for _, u32 := range topo.Adj(v) {
+				if u := int(u32); actions[u] == dynet.Send {
+					buf = append(buf, outgoing[u])
 				}
-			})
-			sort.Slice(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+			}
+			sortInbox(buf)
+			inboxBuf = buf
+			inbox := inboxes.copyMsgs(buf)
 			records[r][v].inbox = inbox
 			ms[v].Deliver(r, inbox)
 		}
@@ -230,9 +332,11 @@ func Run(s Setup, referee bool) (*Result, error) {
 	n := s.ActualN
 	parties := []chains.Party{chains.Alice, chains.Bob}
 	spoiled := s.Spoiled
-	opposite := map[chains.Party]map[int]bool{
-		chains.Alice: {},
-		chains.Bob:   {},
+	// Per-party state is indexed by node id: dense slices, not maps,
+	// because the simulation touches every entry every round.
+	opposite := map[chains.Party][]bool{
+		chains.Alice: make([]bool, n),
+		chains.Bob:   make([]bool, n),
 	}
 	for _, v := range s.Forward[chains.Bob] {
 		opposite[chains.Alice][v] = true
@@ -241,9 +345,9 @@ func Run(s Setup, referee bool) (*Result, error) {
 		opposite[chains.Bob][v] = true
 	}
 
-	machines := map[chains.Party]map[int]dynet.Machine{}
+	machines := map[chains.Party][]dynet.Machine{}
 	for _, p := range parties {
-		machines[p] = make(map[int]dynet.Machine)
+		machines[p] = make([]dynet.Machine, n)
 		for v := 0; v < n; v++ {
 			if spoiled[p][v] >= 1 && !opposite[p][v] {
 				machines[p][v] = s.newMachine(v)
@@ -252,44 +356,77 @@ func Run(s Setup, referee bool) (*Result, error) {
 	}
 
 	res := &Result{Rounds: s.Horizon}
-	records := map[chains.Party][][]roundRecord{
-		chains.Alice: make([][]roundRecord, s.Horizon+1),
-		chains.Bob:   make([][]roundRecord, s.Horizon+1),
+	// Per-round records exist only for the referee's Lemma 5 comparison;
+	// without it, Run keeps no history and reuses its inbox buffer. Rounds
+	// are carved from one flat arena per party.
+	var records map[chains.Party][][]roundRecord
+	if referee {
+		records = map[chains.Party][][]roundRecord{}
+		for _, p := range parties {
+			flat := make([]roundRecord, s.Horizon*n)
+			perRound := make([][]roundRecord, s.Horizon+1)
+			for r := 1; r <= s.Horizon; r++ {
+				perRound[r] = flat[(r-1)*n : r*n : r*n]
+			}
+			records[p] = perRound
+		}
 	}
-	actions := map[chains.Party]map[int]dynet.Action{
-		chains.Alice: {}, chains.Bob: {},
+	actions := map[chains.Party][]dynet.Action{
+		chains.Alice: make([]dynet.Action, n), chains.Bob: make([]dynet.Action, n),
 	}
-	outgoing := map[chains.Party]map[int]dynet.Message{
-		chains.Alice: {}, chains.Bob: {},
+	outgoing := map[chains.Party][]dynet.Message{
+		chains.Alice: make([]dynet.Message, n), chains.Bob: make([]dynet.Message, n),
+	}
+	scratch := map[chains.Party]*graph.Graph{
+		chains.Alice: graph.New(n), chains.Bob: graph.New(n),
 	}
 	// forwards[p][v] is the message special v (owned by p) sent this
-	// round, as computed by p.
+	// round, as computed by p; hasForward marks validity per round.
+	forwards := map[chains.Party][]dynet.Message{
+		chains.Alice: make([]dynet.Message, n), chains.Bob: make([]dynet.Message, n),
+	}
+	hasForward := map[chains.Party][]bool{
+		chains.Alice: make([]bool, n), chains.Bob: make([]bool, n),
+	}
+	var payloads byteArena
+	var inboxes msgArena
+	var inboxBuf []dynet.Message
 	for r := 1; r <= s.Horizon; r++ {
-		forwards := map[chains.Party]map[int]dynet.Message{
-			chains.Alice: {}, chains.Bob: {},
-		}
 		for _, p := range parties {
-			records[p][r] = make([]roundRecord, n)
-			for v, m := range machines[p] {
-				if r > spoiled[p][v] {
+			// Hoist the party-keyed lookups out of the per-node loops.
+			pSpoiled, pMachines := spoiled[p], machines[p]
+			pActions, pOutgoing := actions[p], outgoing[p]
+			pForwards, pHas := forwards[p], hasForward[p]
+			for _, v := range s.Forward[p] {
+				pHas[v] = false
+			}
+			var pRecords []roundRecord
+			if referee {
+				pRecords = records[p][r]
+			}
+			for v, m := range pMachines {
+				if m == nil || r > pSpoiled[v] {
 					continue
 				}
 				act, msg := m.Step(r)
 				msg.From = v
-				actions[p][v], outgoing[p][v] = act, msg
-				records[p][r][v].action = act
-				if act == dynet.Send {
-					records[p][r][v].payload = append([]byte(nil), msg.Payload...)
-					records[p][r][v].nbits = msg.NBits
+				pActions[v], pOutgoing[v] = act, msg
+				if referee {
+					pRecords[v].action = act
+					if act == dynet.Send {
+						pRecords[v].payload = payloads.copyBytes(msg.Payload)
+						pRecords[v].nbits = msg.NBits
+					}
 				}
 			}
 			for _, v := range s.Forward[p] {
-				if r <= spoiled[p][v] && actions[p][v] == dynet.Send {
-					forwards[p][v] = outgoing[p][v]
+				if r <= pSpoiled[v] && pActions[v] == dynet.Send {
+					pForwards[v] = pOutgoing[v]
+					pHas[v] = true
 					if p == chains.Alice {
-						res.BitsAliceToBob += outgoing[p][v].NBits
+						res.BitsAliceToBob += pOutgoing[v].NBits
 					} else {
-						res.BitsBobToAlice += outgoing[p][v].NBits
+						res.BitsBobToAlice += pOutgoing[v].NBits
 					}
 				}
 			}
@@ -302,33 +439,47 @@ func Run(s Setup, referee bool) (*Result, error) {
 			} else {
 				other = chains.Alice
 			}
-			topo := s.Topology(p, r, nil)
-			for v, m := range machines[p] {
-				if r >= spoiled[p][v] || actions[p][v] != dynet.Receive {
+			pSpoiled, pMachines := spoiled[p], machines[p]
+			pActions, pOutgoing := actions[p], outgoing[p]
+			pOpposite := opposite[p]
+			oForwards, oHas := forwards[other], hasForward[other]
+			topo := s.topologyInto(scratch[p], p, r, nil)
+			var pRecords []roundRecord
+			if referee {
+				pRecords = records[p][r]
+			}
+			for v, m := range pMachines {
+				if m == nil || r >= pSpoiled[v] || pActions[v] != dynet.Receive {
 					continue
 				}
-				var inbox []dynet.Message
-				topo.ForEachNeighbor(v, func(u int) {
+				inbox := inboxBuf[:0]
+				for _, u32 := range topo.Adj(v) {
+					u := int(u32)
 					switch {
-					case opposite[p][u]:
-						if msg, ok := forwards[other][u]; ok {
-							inbox = append(inbox, msg)
+					case pOpposite[u]:
+						if oHas[u] {
+							inbox = append(inbox, oForwards[u])
 						}
-					case r <= spoiled[p][u]:
-						if actions[p][u] == dynet.Send {
-							inbox = append(inbox, outgoing[p][u])
+					case r <= pSpoiled[u]:
+						if pActions[u] == dynet.Send {
+							inbox = append(inbox, pOutgoing[u])
 						}
 					}
-				})
-				sort.Slice(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
-				records[p][r][v].inbox = inbox
+				}
+				sortInbox(inbox)
+				inboxBuf = inbox
+				if referee {
+					// The record needs a stable copy; the buffer is reused.
+					inbox = inboxes.copyMsgs(inbox)
+					pRecords[v].inbox = inbox
+				}
 				m.Deliver(r, inbox)
 			}
 		}
 	}
 
 	// Alice's claim.
-	if m, ok := machines[chains.Alice][s.DecisionNode]; ok {
+	if m := machines[chains.Alice][s.DecisionNode]; m != nil {
 		if out, done := m.Output(); done {
 			res.Claim = true
 			res.DecisionOutput = out
