@@ -5,7 +5,12 @@
 //
 //	go run ./cmd/bench                  # full baseline -> BENCH_<date>.json
 //	go run ./cmd/bench -short           # shrunken workloads (CI smoke)
-//	go run ./cmd/bench -compare FILE    # also print speedup vs an old baseline
+//	go run ./cmd/bench -compare FILE    # per-benchmark deltas vs an old baseline
+//
+// With -compare, each benchmark prints its ns/op delta against the old
+// baseline and the process exits non-zero if any benchmark regressed by
+// more than -max-regress percent (default 20) — the regression gate CI
+// runs against the committed BENCH_*.json.
 package main
 
 import (
@@ -45,9 +50,10 @@ func main() {
 	log.SetPrefix("bench: ")
 
 	var (
-		short   = flag.Bool("short", false, "shrink workloads for a smoke run")
-		out     = flag.String("out", "", "output path (default BENCH_<date>.json)")
-		compare = flag.String("compare", "", "old baseline JSON to print speedups against")
+		short      = flag.Bool("short", false, "shrink workloads for a smoke run")
+		out        = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		compare    = flag.String("compare", "", "old baseline JSON to print per-benchmark deltas against")
+		maxRegress = flag.Float64("max-regress", 20, "with -compare, exit 1 if any ns/op regresses more than this percent")
 	)
 	flag.Parse()
 
@@ -99,8 +105,12 @@ func main() {
 	fmt.Printf("wrote %s\n", path)
 
 	if *compare != "" {
-		if err := printComparison(*compare, base); err != nil {
+		worst, err := printComparison(*compare, base)
+		if err != nil {
 			log.Fatal(err)
+		}
+		if worst > *maxRegress {
+			log.Fatalf("FAIL: worst ns/op regression %.1f%% exceeds -max-regress %.1f%%", worst, *maxRegress)
 		}
 	}
 }
@@ -194,17 +204,54 @@ func workloads(short bool) []struct {
 			}
 			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 		}},
+		// The same workload with a ring event sink and a metrics registry
+		// attached: the gap to EngineRingFlood is the observer overhead
+		// the "zero when off, bounded when on" contract bounds.
+		{"EngineRingFloodObserved", func(b *testing.B) {
+			b.ReportAllocs()
+			g := dyndiam.Ring(ringN)
+			sink := dyndiam.NewObsRing(1 << 16)
+			rounds := 0
+			var events int64
+			for i := 0; i < b.N; i++ {
+				sink.Reset()
+				inputs := make([]int64, ringN)
+				inputs[0] = 1
+				ms := dyndiam.NewMachines(dyndiam.CFlood{}, ringN, inputs, uint64(i),
+					map[string]int64{dyndiam.ExtraDiameter: int64(ringN / 2)})
+				eng := &dyndiam.Engine{
+					Machines:   ms,
+					Adv:        dyndiam.StaticAdversary(g),
+					Workers:    1,
+					Terminated: dyndiam.NodeDecided(0),
+					Obs:        sink,
+					Metrics:    dyndiam.NewMetricsRegistry(),
+				}
+				res, err := eng.Run(2 * ringN)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += res.Rounds
+				events += int64(sink.Len()) + int64(sink.Dropped())
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		}},
 	}
 }
 
-func printComparison(oldPath string, cur baseline) error {
+// printComparison prints each current benchmark against the old baseline
+// and returns the worst ns/op regression as a percentage (0 when nothing
+// regressed). Benchmarks absent from the old baseline (for example newly
+// added workloads) are reported but never gate.
+func printComparison(oldPath string, cur baseline) (worst float64, err error) {
 	data, err := os.ReadFile(oldPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var old baseline
 	if err := json.Unmarshal(data, &old); err != nil {
-		return err
+		return 0, err
 	}
 	if old.Short != cur.Short {
 		fmt.Printf("warning: comparing short=%v against short=%v workloads\n", cur.Short, old.Short)
@@ -216,11 +263,19 @@ func printComparison(oldPath string, cur baseline) error {
 	fmt.Printf("vs %s (%s):\n", oldPath, old.Date)
 	for _, r := range cur.Benchmarks {
 		p, ok := prev[r.Name]
-		if !ok || r.NsPerOp == 0 {
+		if !ok {
+			fmt.Printf("  %-28s (new, no baseline)\n", r.Name)
 			continue
 		}
-		fmt.Printf("  %-28s %6.2fx time, allocs %d -> %d\n",
-			r.Name, p.NsPerOp/r.NsPerOp, p.AllocsPerOp, r.AllocsPerOp)
+		if r.NsPerOp == 0 || p.NsPerOp == 0 {
+			continue
+		}
+		delta := (r.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+		if delta > worst {
+			worst = delta
+		}
+		fmt.Printf("  %-28s %+7.1f%% ns/op (%.0f -> %.0f), allocs %d -> %d\n",
+			r.Name, delta, p.NsPerOp, r.NsPerOp, p.AllocsPerOp, r.AllocsPerOp)
 	}
-	return nil
+	return worst, nil
 }

@@ -6,6 +6,11 @@
 //	reduction -thm 6           run the Theorem 6 (CFLOOD) experiment E1
 //	reduction -thm 7           run the Theorem 7 (CONSENSUS) experiment E2
 //	reduction -diameters       measure composition diameters (O(1) vs Ω(q))
+//
+// With -trace-out FILE it runs one instrumented Theorem 6 reduction at
+// the first -q value and writes the spoil/forwarding event stream as
+// Chrome trace-event JSON (load at ui.perfetto.dev); add -obs-out for
+// the same stream as JSONL, which cmd/obsview summarizes.
 package main
 
 import (
@@ -34,10 +39,21 @@ func main() {
 		qs        = flag.String("q", "17,33,65", "comma-separated q values (odd)")
 		n         = flag.Int("n", 2, "DISJOINTNESSCP string length for theorem 6")
 		seed      = flag.Uint64("seed", 1, "public-coin seed")
+		trcOut    = flag.String("trace-out", "", "write one instrumented Theorem 6 run's Chrome trace to this file")
+		obsOut    = flag.String("obs-out", "", "write the same run's event stream as JSONL to this file")
 	)
 	flag.Parse()
 
 	switch {
+	case *trcOut != "" || *obsOut != "":
+		qv, err := parseQs(*qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := observedReduction(qv[0], *n, *seed, *trcOut, *obsOut); err != nil {
+			log.Fatal(err)
+		}
+
 	case *dot >= 0:
 		qv, err := parseQs(*qs)
 		if err != nil {
@@ -140,6 +156,57 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// observedReduction runs the Theorem 6 simulation on a 0-instance (the
+// interesting case: the spoiled regions grow until the parties must
+// communicate) with an event ring attached, then exports the stream.
+func observedReduction(q, n int, seed uint64, trcOut, obsOut string) error {
+	in := dyndiam.RandomDisjZero(n, q, 1, seed)
+	net, err := dyndiam.NewCFloodNetwork(in)
+	if err != nil {
+		return err
+	}
+	ring := dyndiam.NewObsRing(1 << 20)
+	setup := dyndiam.CFloodReductionSetup(net, dyndiam.CFlood{}, seed,
+		map[string]int64{dyndiam.ExtraDiameter: 10})
+	setup.Obs = ring
+	res, err := dyndiam.RunReduction(setup, true)
+	if err != nil {
+		return err
+	}
+	events := ring.Events()
+	fmt.Printf("q=%d N=%d: %d rounds, %d+%d forwarded bits, %d events captured (%d dropped)\n",
+		q, net.N, res.Rounds, res.BitsAliceToBob, res.BitsBobToAlice, len(events), ring.Dropped())
+	if obsOut != "" {
+		if err := writeWith(obsOut, func(f *os.File) error {
+			return dyndiam.WriteEventsJSONL(f, events)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", obsOut)
+	}
+	if trcOut != "" {
+		if err := writeWith(trcOut, func(f *os.File) error {
+			return dyndiam.WriteChromeTrace(f, events)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (load at ui.perfetto.dev)\n", trcOut)
+	}
+	return nil
+}
+
+func writeWith(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseQs(s string) ([]int, error) {

@@ -7,7 +7,10 @@
 //
 // Runtime is a few minutes at the default scale; -quick shrinks every
 // sweep for a fast smoke run, and -workers runs sweep cells concurrently
-// (the tables are identical at every worker count).
+// (the tables are identical at every worker count). -obs-out FILE
+// additionally collects per-cell metric roll-ups across every sweep and
+// writes them as a Prometheus text exposition — identical at every
+// -workers setting.
 package main
 
 import (
@@ -30,9 +33,13 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "public-coin seed")
 		quick   = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
 		workers = flag.Int("workers", 0, "concurrent sweep cells (<1 = GOMAXPROCS); does not change results")
+		obsOut  = flag.String("obs-out", "", "write sweep metric roll-ups as Prometheus text to this file")
 	)
 	flag.Parse()
 	dyndiam.SetSweepWorkers(*workers)
+	if *obsOut != "" {
+		dyndiam.EnableSweepMetrics()
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
@@ -131,6 +138,25 @@ func main() {
 			log.Fatalf("%s: %v", s.name, err)
 		}
 		fmt.Printf("%-20s %8s  -> %s.{txt,csv}\n", s.name, time.Since(start).Round(time.Millisecond), s.name)
+	}
+
+	if *obsOut != "" {
+		reg := dyndiam.TakeSweepMetrics()
+		if reg == nil {
+			log.Fatal("obs-out: no sweep metrics were collected")
+		}
+		f, err := os.Create(*obsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dyndiam.WriteMetricsText(f, reg); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %8s  -> %s\n", "sweep_metrics", "-", *obsOut)
 	}
 
 	// Construction figures.

@@ -34,8 +34,17 @@
 // The cmd/ binaries (dynsim, gaptable, reduction, leaderelect) and the
 // examples/ programs exercise this API end to end.
 //
+// Executions can be observed without being perturbed: attach an ObsRing
+// to Engine.Obs (and LeaderElect.Obs / ReductionSetup.Obs) to capture a
+// typed round/phase/lock event stream, and a MetricsRegistry to
+// Engine.Metrics for counters and histograms. A nil sink costs nothing —
+// the round loop stays allocation-free — and captured streams export as
+// JSONL, Prometheus text, or Chrome trace JSON (WriteEventsJSONL,
+// WriteMetricsText, WriteChromeTrace; summarized by cmd/obsview). See
+// internal/obs and "Observability" in README.md.
+//
 // Model invariants that are code discipline rather than runtime checks
-// (determinism, CONGEST bit accounting, print hygiene) are enforced
-// statically by cmd/dynlint; see "Static analysis & model invariants" in
-// README.md.
+// (determinism, CONGEST bit accounting, print hygiene, observability
+// determinism) are enforced statically by cmd/dynlint; see "Static
+// analysis & model invariants" in README.md.
 package dyndiam

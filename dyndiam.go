@@ -10,6 +10,7 @@ import (
 	"dyndiam/internal/export"
 	"dyndiam/internal/graph"
 	"dyndiam/internal/harness"
+	"dyndiam/internal/obs"
 	"dyndiam/internal/protocols/consensus"
 	"dyndiam/internal/protocols/counting"
 	"dyndiam/internal/protocols/flood"
@@ -178,6 +179,9 @@ const (
 	ExtraNPrime = leader.ExtraNPrime
 	// ExtraCPermille is the N'-accuracy margin c in thousandths.
 	ExtraCPermille = leader.ExtraCPermille
+	// ExtraSkipCount1 disables the COUNT1 pre-lock check (the Section 7
+	// two-stage-locking ablation; expect lock rollbacks).
+	ExtraSkipCount1 = leader.ExtraSkipStage1
 )
 
 // Informed reports whether a flood machine holds the token.
@@ -349,3 +353,67 @@ var (
 func ConsensusDOT(net *ConsensusNetwork, p Party, r int) string {
 	return export.ConsensusDOT(net, p, r)
 }
+
+// --- Observability (package obs) ---
+
+// Observability types: see internal/obs for the full contract (zero
+// allocation with a nil sink, deterministic event order, round-stamped
+// time base).
+type (
+	// ObsEvent is one fixed-size observation (round, node, kind, args).
+	ObsEvent = obs.Event
+	// ObsKind tags an ObsEvent.
+	ObsKind = obs.Kind
+	// ObsSink receives events; Engine.Obs, LeaderElect.Obs, and
+	// ReductionSetup.Obs all accept one.
+	ObsSink = obs.Sink
+	// ObsRing is the preallocated fixed-capacity event sink.
+	ObsRing = obs.Ring
+	// MetricsRegistry collects counters, gauges, and histograms;
+	// Engine.Metrics and ReductionSetup.Metrics accept one.
+	MetricsRegistry = obs.Registry
+	// MetricPoint is one row of a MetricsRegistry snapshot.
+	MetricPoint = obs.MetricPoint
+)
+
+// Event kinds (see internal/obs for per-kind field layouts).
+const (
+	ObsRoundStart   = obs.KindRoundStart
+	ObsRoundEnd     = obs.KindRoundEnd
+	ObsSend         = obs.KindSend
+	ObsDecide       = obs.KindDecide
+	ObsPhaseEnter   = obs.KindPhaseEnter
+	ObsLockAcquire  = obs.KindLockAcquire
+	ObsLockRollback = obs.KindLockRollback
+	ObsSpoilMark    = obs.KindSpoilMark
+	ObsCustom       = obs.KindCustom
+)
+
+// NewObsRing returns a ring sink holding the last capacity events.
+func NewObsRing(capacity int) *ObsRing { return obs.NewRing(capacity) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteEventsJSONL / ReadEventsJSONL serialize event streams as JSON
+// Lines; WriteChromeTrace emits Chrome trace-event JSON loadable in
+// Perfetto; WriteMetricsText emits a Prometheus text exposition.
+func WriteEventsJSONL(w io.Writer, events []ObsEvent) error { return obs.WriteJSONL(w, events) }
+
+// ReadEventsJSONL parses a stream written by WriteEventsJSONL.
+func ReadEventsJSONL(r io.Reader) ([]ObsEvent, error) { return obs.ReadJSONL(r) }
+
+// WriteChromeTrace converts an event stream to Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, events []ObsEvent) error { return obs.WriteChromeTrace(w, events) }
+
+// WriteMetricsText writes a registry as Prometheus text exposition.
+func WriteMetricsText(w io.Writer, r *MetricsRegistry) error { return obs.WriteMetricsText(w, r) }
+
+// EnableSweepMetrics turns on per-cell metric roll-ups for subsequent
+// harness sweeps; TakeSweepMetrics returns the aggregate (nil if never
+// enabled) and disables collection. Aggregates are bit-identical at
+// every SetSweepWorkers setting.
+var (
+	EnableSweepMetrics = harness.EnableSweepMetrics
+	TakeSweepMetrics   = harness.TakeSweepMetrics
+)

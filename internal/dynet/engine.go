@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dyndiam/internal/graph"
+	"dyndiam/internal/obs"
 )
 
 // Engine executes a protocol over a dynamic network. Configure the fields,
@@ -26,6 +27,20 @@ type Engine struct {
 	Workers int
 	// Trace, when non-nil, records per-round topologies and statistics.
 	Trace *Trace
+	// Obs, when non-nil, receives typed events as the run progresses:
+	// RoundStart/RoundEnd per round, Send per sending node, and Decide
+	// the first round each node's output becomes available. Protocol
+	// machines emit their own phase and lock events through their own
+	// sinks; the engine only reports what it can see. A nil Obs keeps
+	// the round loop exactly on the zero-allocation path pinned by the
+	// alloc regression tests. Events are emitted from the coordinator
+	// goroutine only, so a single-goroutine sink (obs.Ring) is safe at
+	// any Workers setting.
+	Obs obs.Sink
+	// Metrics, when non-nil, accumulates run totals (engine_rounds_total,
+	// engine_messages_total, engine_bits_total) and per-round histograms
+	// (engine_round_senders, engine_round_bits). Nil means no metric work.
+	Metrics *obs.Registry
 
 	// Terminated, when non-nil, overrides the default all-nodes-decided
 	// termination predicate (e.g. CFLOOD terminates when the source
@@ -90,19 +105,40 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		dist = make([]int32, n)
 		queue = make([]int32, n)
 	}
+	observing := e.Obs != nil
+	var decided []bool
+	if observing {
+		decided = make([]bool, n)
+		for v, m := range e.Machines {
+			_, decided[v] = m.Output()
+		}
+	}
+	sendersHist := e.Metrics.Histogram("engine_round_senders", RoundHistBounds)
+	bitsHist := e.Metrics.Histogram("engine_round_bits", RoundHistBounds)
 
 	for r := 1; r <= maxRounds; r++ {
+		if observing {
+			e.Obs.Emit(obs.Event{Kind: obs.KindRoundStart, Round: int32(r)})
+		}
 		// Phase 1: coin flips and send/receive commitment.
 		e.step(r, actions, outgoing, workers)
+		roundSenders, roundBits := 0, 0
 		for v := 0; v < n; v++ {
 			if actions[v] == Send {
 				if outgoing[v].NBits > budget {
 					return nil, budgetError(v, r, outgoing[v].NBits, budget)
 				}
-				res.Messages++
-				res.Bits += outgoing[v].NBits
+				roundSenders++
+				roundBits += outgoing[v].NBits
+				if observing {
+					e.Obs.Emit(obs.Event{Kind: obs.KindSend, Round: int32(r), Node: int32(v), A: int64(outgoing[v].NBits)})
+				}
 			}
 		}
+		res.Messages += roundSenders
+		res.Bits += roundBits
+		sendersHist.Observe(int64(roundSenders))
+		bitsHist.Observe(int64(roundBits))
 
 		// Phase 2: the adversary fixes the topology knowing the actions.
 		g := e.Adv.Topology(r, actions)
@@ -119,6 +155,18 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 
 		if e.Trace != nil {
 			e.Trace.record(r, g, actions, outgoing)
+		}
+
+		if observing {
+			for v, m := range e.Machines {
+				if !decided[v] {
+					if out, ok := m.Output(); ok {
+						decided[v] = true
+						e.Obs.Emit(obs.Event{Kind: obs.KindDecide, Round: int32(r), Node: int32(v), A: out})
+					}
+				}
+			}
+			e.Obs.Emit(obs.Event{Kind: obs.KindRoundEnd, Round: int32(r), A: int64(roundSenders), B: int64(roundBits)})
 		}
 
 		if terminated(e.Machines) {
@@ -139,8 +187,17 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		// authoritative — machines do not change between rounds.)
 		res.Done = terminated(e.Machines)
 	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("engine_rounds_total").Add(int64(res.Rounds))
+		e.Metrics.Counter("engine_messages_total").Add(int64(res.Messages))
+		e.Metrics.Counter("engine_bits_total").Add(int64(res.Bits))
+	}
 	return res, nil
 }
+
+// RoundHistBounds buckets per-round sender and bit totals geometrically;
+// shared so merged sweep registries agree on one bucket layout.
+var RoundHistBounds = []int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
 
 func gN(g *graph.Graph) interface{} {
 	if g == nil {

@@ -16,6 +16,13 @@ type RoundStats struct {
 // reduction referee needs them. Snapshots are carved from a pooled arena
 // (graph.Cloner), so recording thousands of rounds costs amortized one
 // allocation per snapshot rather than one per vertex.
+//
+// Aliasing contract: recorded topologies share the Trace's arena. They stay
+// valid for the lifetime of the recording — across Run and after it — but
+// Reset rewinds the arena, and any snapshot taken before the Reset will be
+// silently overwritten by snapshots recorded after it. A caller that wants
+// to keep topologies past a Trace reuse must deep-copy them first with
+// Graph.Clone. TestTraceResetInvalidatesSnapshots pins this contract.
 type Trace struct {
 	// KeepTopologies stores a clone of every round's graph.
 	KeepTopologies bool
@@ -37,6 +44,17 @@ func (t *Trace) record(r int, g *graph.Graph, actions []Action, outgoing []Messa
 		st.Topology = t.cloner.Clone(g)
 	}
 	t.Stats = append(t.Stats, st)
+}
+
+// Reset clears the trace for reuse by a fresh execution, keeping the stats
+// slice and the snapshot arena. Topologies returned before the Reset alias
+// the arena and are invalidated by it (see the type's aliasing contract).
+func (t *Trace) Reset() {
+	for i := range t.Stats {
+		t.Stats[i].Topology = nil
+	}
+	t.Stats = t.Stats[:0]
+	t.cloner.Reset()
 }
 
 // Topologies returns the recorded per-round graphs (round 1 first). It

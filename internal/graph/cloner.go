@@ -18,6 +18,17 @@ type Cloner struct {
 
 const clonerMinChunk = 1 << 10
 
+// Reset rewinds the arenas so the next Clone reuses their storage from the
+// start. Graphs cloned before the Reset alias the rewound chunks and will
+// be silently overwritten by later Clones: a caller that retains snapshots
+// across a Reset must deep-copy them first (Graph.Clone). Chunks from
+// earlier growth generations are dropped to the GC; only the current chunk
+// of each arena is reused.
+func (c *Cloner) Reset() {
+	c.ints = c.ints[:0]
+	c.hdrs = c.hdrs[:0]
+}
+
 // grabInts returns a zeroed-length slice with capacity need carved from the
 // current chunk, growing the chunk when exhausted.
 func (c *Cloner) grabInts(need int) []int32 {

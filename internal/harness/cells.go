@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dyndiam/internal/obs"
 	"dyndiam/internal/rng"
 )
 
@@ -30,20 +31,89 @@ func SetSweepWorkers(w int) int {
 // SweepWorkers returns the current sweep concurrency.
 func SweepWorkers() int { return int(atomic.LoadInt64(&sweepWorkers)) }
 
-// forEachCell runs fn(i) for every cell index in [0, cells) across
+// Sweep metric roll-ups. When enabled, every cell of every sweep records
+// into a private obs.Registry (created just-in-time, so the disabled path
+// does no metric work at all), and forEachCell merges the per-cell
+// registries into one aggregate in ascending cell-index order — never in
+// completion order. Counter and histogram merges are sums, registries are
+// merged in a fixed order, and each cell's content is a pure function of
+// its parameters, so the aggregate snapshot is bit-identical at every
+// SweepWorkers setting (pinned by TestSweepMetricsParallelEqualSequential).
+var (
+	sweepMetricsMu  sync.Mutex
+	sweepMetricsAgg *obs.Registry // nil = collection disabled
+)
+
+// EnableSweepMetrics turns on per-cell metric collection for subsequent
+// sweeps, discarding any aggregate a previous enablement accumulated.
+func EnableSweepMetrics() {
+	sweepMetricsMu.Lock()
+	defer sweepMetricsMu.Unlock()
+	sweepMetricsAgg = obs.NewRegistry()
+}
+
+// TakeSweepMetrics disables collection and returns the aggregate registry
+// (nil when collection was never enabled).
+func TakeSweepMetrics() *obs.Registry {
+	sweepMetricsMu.Lock()
+	defer sweepMetricsMu.Unlock()
+	r := sweepMetricsAgg
+	sweepMetricsAgg = nil
+	return r
+}
+
+func sweepMetricsEnabled() bool {
+	sweepMetricsMu.Lock()
+	defer sweepMetricsMu.Unlock()
+	return sweepMetricsAgg != nil
+}
+
+// mergeSweepMetrics folds per-cell registries into the aggregate in slice
+// (= cell-index) order. Nil entries — disabled collection or unrun cells —
+// are skipped.
+func mergeSweepMetrics(regs []*obs.Registry) {
+	sweepMetricsMu.Lock()
+	defer sweepMetricsMu.Unlock()
+	if sweepMetricsAgg == nil {
+		return
+	}
+	for _, r := range regs {
+		if r != nil {
+			sweepMetricsAgg.Merge(r)
+		}
+	}
+}
+
+// forEachCell runs fn(i, reg) for every cell index in [0, cells) across
 // SweepWorkers goroutines. All cells run to completion; the lowest-index
 // error is returned, which is the error a sequential sweep reports first.
-func forEachCell(cells int, fn func(i int) error) error {
+// reg is the cell's private metrics registry when sweep metrics are
+// enabled, nil (and safe to use unconditionally) otherwise; after an
+// error-free sweep every cell's registry is merged into the aggregate in
+// cell-index order.
+func forEachCell(cells int, fn func(i int, reg *obs.Registry) error) error {
 	workers := SweepWorkers()
 	if workers > cells {
 		workers = cells
 	}
+	var regs []*obs.Registry
+	if sweepMetricsEnabled() {
+		regs = make([]*obs.Registry, cells)
+	}
+	cellReg := func(i int) *obs.Registry {
+		if regs == nil {
+			return nil
+		}
+		regs[i] = obs.NewRegistry()
+		return regs[i]
+	}
 	if workers <= 1 {
 		for i := 0; i < cells; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(i, cellReg(i)); err != nil {
 				return err
 			}
 		}
+		mergeSweepMetrics(regs)
 		return nil
 	}
 	errs := make([]error, cells)
@@ -58,7 +128,7 @@ func forEachCell(cells int, fn func(i int) error) error {
 				if i >= cells {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(i, cellReg(i))
 			}
 		}()
 	}
@@ -68,6 +138,7 @@ func forEachCell(cells int, fn func(i int) error) error {
 			return err
 		}
 	}
+	mergeSweepMetrics(regs)
 	return nil
 }
 

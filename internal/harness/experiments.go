@@ -7,11 +7,17 @@ import (
 	"dyndiam/internal/adversaries"
 	"dyndiam/internal/bitio"
 	"dyndiam/internal/dynet"
+	"dyndiam/internal/obs"
 	"dyndiam/internal/protocols/consensus"
 	"dyndiam/internal/protocols/counting"
 	"dyndiam/internal/protocols/flood"
 	"dyndiam/internal/protocols/leader"
 )
+
+// sweepRoundBounds buckets whole-run round counts; wider than the engine's
+// per-round bounds because leader elections run for millions of rounds.
+// Shared across cells so merged histograms agree on one layout.
+var sweepRoundBounds = []int64{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24}
 
 // MeasureDynamicDiameter runs the adversary (with a passive all-receive
 // protocol) for horizon rounds and returns the exact dynamic diameter it
@@ -64,7 +70,7 @@ type GapRow struct {
 // Ω((N/log N)^¼) lower-bound curve for the unknown case.
 func GapTable(sizes []int, targetDiam int, seed uint64) ([]GapRow, error) {
 	rows := make([]GapRow, len(sizes))
-	err := forEachCell(len(sizes), func(i int) error {
+	err := forEachCell(len(sizes), func(i int, reg *obs.Registry) error {
 		n := sizes[i]
 		makeAdv := func() dynet.Adversary {
 			return adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n))
@@ -81,7 +87,7 @@ func GapTable(sizes []int, targetDiam int, seed uint64) ([]GapRow, error) {
 			inputs[0] = 1
 			ms := dynet.NewMachines(flood.CFlood{}, n, inputs, seed^uint64(n), extra)
 			e := &dynet.Engine{Machines: ms, Adv: makeAdv(), Workers: 1,
-				Terminated: dynet.NodeDecided(0)}
+				Metrics: reg, Terminated: dynet.NodeDecided(0)}
 			res, err := e.Run(4 * n)
 			if err != nil || !res.Done {
 				return 0, false, fmt.Errorf("harness: cflood did not confirm: %v", err)
@@ -108,6 +114,9 @@ func GapTable(sizes []int, targetDiam int, seed uint64) ([]GapRow, error) {
 		row.UnknownFR = float64(unknown) / float64(d)
 		row.OutputsCorrect = okKnown && okUnknown
 		rows[i] = row
+		reg.Counter("sweep_cells_total").Add(1)
+		reg.Histogram("gap_known_rounds", sweepRoundBounds).Observe(int64(known))
+		reg.Histogram("gap_unknown_rounds", sweepRoundBounds).Observe(int64(unknown))
 		return nil
 	})
 	if err != nil {
@@ -144,7 +153,7 @@ type LeaderRow struct {
 // under margin cPermille.
 func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille int64, seed uint64) ([]LeaderRow, error) {
 	rows := make([]LeaderRow, len(sizes))
-	err := forEachCell(len(sizes), func(i int) error {
+	err := forEachCell(len(sizes), func(i int, reg *obs.Registry) error {
 		n := sizes[i]
 		adv := adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n))
 		d, err := MeasureDynamicDiameter(
@@ -158,7 +167,7 @@ func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille in
 		}
 		inputs := make([]int64, n)
 		ms := dynet.NewMachines(leader.Protocol{}, n, inputs, seed^uint64(3*n), extra)
-		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
+		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1, Metrics: reg}
 		res, err := e.Run(50000000)
 		if err != nil {
 			return err
@@ -186,6 +195,9 @@ func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille in
 			Correct:       correct,
 			FailedLockers: failed,
 		}
+		reg.Counter("sweep_cells_total").Add(1)
+		reg.Counter("leader_lock_rollbacks_total").Add(int64(failed))
+		reg.Histogram("leader_rounds", sweepRoundBounds).Observe(int64(res.Rounds))
 		return nil
 	})
 	if err != nil {
@@ -221,7 +233,7 @@ type EstimateRow struct {
 // O(log N) flooding rounds).
 func EstimateSweep(sizes, ks []int, targetDiam int, seed uint64) ([]EstimateRow, error) {
 	rows := make([]EstimateRow, len(sizes)*len(ks))
-	err := forEachCell(len(rows), func(i int) error {
+	err := forEachCell(len(rows), func(i int, reg *obs.Registry) error {
 		// Cell (n, k); the diameter measurement repeats per k but is a
 		// pure function of (n, seed), so every k-cell of one n sees the
 		// same d the sequential sweep computed once.
@@ -238,7 +250,7 @@ func EstimateSweep(sizes, ks []int, targetDiam int, seed uint64) ([]EstimateRow,
 			counting.ExtraD: int64(d), counting.ExtraK: int64(k),
 			counting.ExtraRounds: int64(rounds),
 		})
-		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
+		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1, Metrics: reg}
 		res, err := e.Run(rounds + 10)
 		if err != nil || !res.Done {
 			return fmt.Errorf("harness: estimate run failed: %v", err)
@@ -255,6 +267,7 @@ func EstimateSweep(sizes, ks []int, targetDiam int, seed uint64) ([]EstimateRow,
 			N: n, K: k, D: d, Rounds: res.Rounds,
 			MeanErr: sum / float64(n), MaxErr: max,
 		}
+		reg.Counter("sweep_cells_total").Add(1)
 		return nil
 	})
 	if err != nil {
@@ -292,7 +305,7 @@ func MajoritySweep(n int, fracs []float64, targetDiam int, seed uint64) ([]Major
 		return nil, err
 	}
 	rows := make([]MajorityRow, len(fracs))
-	cellErr := forEachCell(len(fracs), func(i int) error {
+	cellErr := forEachCell(len(fracs), func(i int, reg *obs.Registry) error {
 		f := fracs[i]
 		holders := int(f * float64(n))
 		inputs := make([]int64, n)
@@ -303,7 +316,7 @@ func MajoritySweep(n int, fracs []float64, targetDiam int, seed uint64) ([]Major
 		ms := dynet.NewMachines(counting.MajorityProbe{}, n, inputs, seed+uint64(holders), map[string]int64{
 			counting.ExtraD: int64(d), counting.ExtraK: 96,
 		})
-		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
+		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1, Metrics: reg}
 		res, err := e.Run(10000000)
 		if err != nil || !res.Done {
 			return fmt.Errorf("harness: majority probe failed: %v", err)
@@ -318,6 +331,9 @@ func MajoritySweep(n int, fracs []float64, targetDiam int, seed uint64) ([]Major
 			}
 		}
 		rows[i] = row
+		reg.Counter("sweep_cells_total").Add(1)
+		reg.Counter("majority_claims_total").Add(int64(row.Claims))
+		reg.Counter("majority_false_claims_total").Add(int64(row.FalseClaims))
 		return nil
 	})
 	if cellErr != nil {
@@ -350,7 +366,7 @@ type ConsensusGapRow struct {
 // ConsensusGap runs consensus.KnownD and consensus.ViaLeader side by side.
 func ConsensusGap(sizes []int, targetDiam int, seed uint64) ([]ConsensusGapRow, error) {
 	rows := make([]ConsensusGapRow, len(sizes))
-	err := forEachCell(len(sizes), func(i int) error {
+	err := forEachCell(len(sizes), func(i int, reg *obs.Registry) error {
 		n := sizes[i]
 		d, err := MeasureDynamicDiameter(
 			adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n)), n, 6*targetDiam+60)
@@ -369,6 +385,7 @@ func ConsensusGap(sizes []int, targetDiam int, seed uint64) ([]ConsensusGapRow, 
 				Machines: ms,
 				Adv:      adversaries.BoundedDiameter(n, targetDiam, n/2, seed+uint64(n)),
 				Workers:  1,
+				Metrics:  reg,
 			}
 			res, err := e.Run(50000000)
 			if err != nil || !res.Done {
@@ -395,6 +412,7 @@ func ConsensusGap(sizes []int, targetDiam int, seed uint64) ([]ConsensusGapRow, 
 			N: n, D: d, KnownRounds: kRounds, ViaLeaderRnds: vRounds,
 			BothCorrect: kOK && vOK,
 		}
+		reg.Counter("sweep_cells_total").Add(1)
 		return nil
 	})
 	if err != nil {

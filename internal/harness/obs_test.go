@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dyndiam/internal/obs"
+)
+
+// TestSweepMetricsParallelEqualSequential is the roll-up counterpart of
+// TestSweepsParallelEqualSequential: with sweep metrics enabled, the
+// aggregate registry's snapshot must be deep-equal at every worker count,
+// because per-cell registries are merged in cell-index order and every
+// cell's content is a pure function of its parameters.
+func TestSweepMetricsParallelEqualSequential(t *testing.T) {
+	run := func(workers int) []obs.MetricPoint {
+		prev := SetSweepWorkers(workers)
+		defer SetSweepWorkers(prev)
+		EnableSweepMetrics()
+		if _, err := GapTable([]int{24, 32, 48}, 4, 7); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LeaderSweep([]int{16, 20}, 4, 0.9, 150, 11); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MajoritySweep(24, []float64{0.4, 0.8}, 4, 3); err != nil {
+			t.Fatal(err)
+		}
+		reg := TakeSweepMetrics()
+		if reg == nil {
+			t.Fatal("TakeSweepMetrics returned nil after enablement")
+		}
+		return reg.Snapshot()
+	}
+	seq := run(1)
+	if len(seq) == 0 {
+		t.Fatal("no metrics collected")
+	}
+	var cells int64
+	for _, p := range seq {
+		if p.Name == "sweep_cells_total" {
+			cells = p.Value
+		}
+	}
+	if cells != 3+2+2 {
+		t.Fatalf("sweep_cells_total = %d want 7", cells)
+	}
+	for _, w := range []int{2, 3, 16} {
+		par := run(w)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: metric roll-up differs from sequential:\n seq %+v\n par %+v", w, seq, par)
+		}
+	}
+}
+
+// TestSweepMetricsDisabledByDefault pins the zero-overhead-when-off side:
+// without enablement, cells see a nil registry and TakeSweepMetrics has
+// nothing to return.
+func TestSweepMetricsDisabledByDefault(t *testing.T) {
+	if reg := TakeSweepMetrics(); reg != nil {
+		t.Fatal("sweep metrics were enabled at test start")
+	}
+	if _, err := MajoritySweep(24, []float64{0.6}, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if reg := TakeSweepMetrics(); reg != nil {
+		t.Fatal("a sweep without enablement produced an aggregate")
+	}
+}
+
+// TestReductionSweepMetrics checks the sequential reduction sweeps feed the
+// same aggregate, and that the result exports cleanly as Prometheus text.
+func TestReductionSweepMetrics(t *testing.T) {
+	EnableSweepMetrics()
+	if _, err := CFloodReduction([]int{9}, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	reg := TakeSweepMetrics()
+	if reg == nil {
+		t.Fatal("no aggregate from the reduction sweep")
+	}
+	if got := reg.Counter("reduction_rounds_total").Value(); got == 0 {
+		t.Fatal("reduction recorded no rounds")
+	}
+	if got := reg.Counter("reduction_lemma_violations").Value(); got != 0 {
+		t.Fatalf("reduction recorded %d lemma violations", got)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteMetricsText(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("# TYPE reduction_bits_alice_to_bob counter")) {
+		t.Fatalf("exposition missing reduction counters:\n%s", buf.String())
+	}
+}

@@ -7,12 +7,23 @@ import (
 	"dyndiam/internal/disjcp"
 	"dyndiam/internal/dynet"
 	"dyndiam/internal/graph"
+	"dyndiam/internal/obs"
 	"dyndiam/internal/protocols/consensus"
 	"dyndiam/internal/protocols/flood"
 	"dyndiam/internal/rng"
 	"dyndiam/internal/subnet"
 	"dyndiam/internal/twoparty"
 )
+
+// reductionMetrics returns a registry for a sequential reduction sweep when
+// sweep metrics are enabled (nil otherwise); the caller merges it back with
+// mergeSweepMetrics once the sweep completes.
+func reductionMetrics() *obs.Registry {
+	if !sweepMetricsEnabled() {
+		return nil
+	}
+	return obs.NewRegistry()
+}
 
 // ReductionRow is one row of the E1/E2 reduction tables.
 type ReductionRow struct {
@@ -36,6 +47,8 @@ type ReductionRow struct {
 func CFloodReduction(qs []int, n int, seed uint64) ([]ReductionRow, error) {
 	var rows []ReductionRow
 	src := rng.New(seed)
+	reg := reductionMetrics()
+	defer mergeSweepMetrics([]*obs.Registry{reg})
 	for _, q := range qs {
 		for _, zero := range []bool{false, true} {
 			var in disjcp.Instance
@@ -56,6 +69,7 @@ func CFloodReduction(qs []int, n int, seed uint64) ([]ReductionRow, error) {
 				{"safe(D:=N-1)", nil},
 			} {
 				setup := twoparty.FromCFlood(net, flood.CFlood{}, seed+uint64(q), oracle.extra)
+				setup.Metrics = reg
 				res, err := twoparty.Run(setup, true)
 				if err != nil {
 					return nil, err
@@ -121,6 +135,8 @@ func ConsensusReduction(qs []int, seed uint64) ([]ConsensusReductionRow, error) 
 func ConsensusReductionOracle(qs []int, seed uint64, oracle dynet.Protocol, extra map[string]int64) ([]ConsensusReductionRow, error) {
 	var rows []ConsensusReductionRow
 	src := rng.New(seed)
+	reg := reductionMetrics()
+	defer mergeSweepMetrics([]*obs.Registry{reg})
 	for _, q := range qs {
 		for _, zero := range []bool{false, true} {
 			var in disjcp.Instance
@@ -142,6 +158,7 @@ func ConsensusReductionOracle(qs []int, seed uint64, oracle dynet.Protocol, extr
 				}
 			}
 			setup := twoparty.FromConsensus(net, o, seed+uint64(q), ex)
+			setup.Metrics = reg
 			res, err := twoparty.Run(setup, true)
 			if err != nil {
 				return nil, err

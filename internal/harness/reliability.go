@@ -5,6 +5,7 @@ import (
 
 	"dyndiam/internal/adversaries"
 	"dyndiam/internal/dynet"
+	"dyndiam/internal/obs"
 	"dyndiam/internal/protocols/leader"
 	"dyndiam/internal/stats"
 )
@@ -25,11 +26,11 @@ func LeaderReliability(n, targetDiam, trials int, extra map[string]int64) (Relia
 	rel := Reliability{Trials: trials}
 	rounds := make([]float64, trials)
 	failed := make([]bool, trials)
-	err := forEachCell(trials, func(trial int) error {
+	err := forEachCell(trials, func(trial int, reg *obs.Registry) error {
 		seed := uint64(trial)*2654435761 + 1
 		adv := adversaries.BoundedDiameter(n, targetDiam, n/2, seed)
 		ms := dynet.NewMachines(leader.Protocol{}, n, make([]int64, n), seed, extra)
-		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
+		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1, Metrics: reg}
 		res, err := e.Run(50000000)
 		if err != nil {
 			return err

@@ -175,6 +175,7 @@ func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
 		MapOrder,
+		ObsDeterminism,
 		CongestSend,
 		PanicFree,
 		PrintClean,

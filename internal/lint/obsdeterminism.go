@@ -1,0 +1,41 @@
+package lint
+
+import "go/ast"
+
+// ObsDeterminism enforces the stricter determinism contract of the
+// observability layer (internal/obs). Event logs and metric expositions
+// are part of an execution's artifact: two runs from the same seed must
+// produce byte-identical output at any sweep worker count. The general
+// maporder rule only forbids map iteration whose order *leaks* into
+// results; inside internal/obs even order-independent iteration is
+// banned, because an emit or export path that walks a map is one
+// refactor away from leaking order (the registry keeps an
+// insertion-order slice for exactly this reason). Wall-clock reads are
+// banned outright — rounds are the layer's only clock — mirroring the
+// determinism rule, whose scope does not cover internal/obs.
+var ObsDeterminism = &Analyzer{
+	Name: "obsdeterminism",
+	Doc: "forbid any map iteration and wall-clock reads in internal/obs: " +
+		"event logs and metric expositions must be byte-identical across runs",
+	Scope: func(path string) bool { return underAny(path, "internal/obs") },
+	Run:   runObsDeterminism,
+}
+
+func runObsDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if p.isMapRange(n) {
+					p.Reportf(n.Pos(), "map iteration in the observability layer: emit and export paths must walk insertion-order slices, never maps")
+				}
+			case *ast.SelectorExpr:
+				if p.pkgIdentOrName(file, n.X) == "time" && bannedClockCalls[n.Sel.Name] {
+					p.Reportf(n.Pos(), "time.%s in the observability layer: rounds are the only clock; wall-clock reads make exported artifacts unreproducible", n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -8,9 +8,12 @@ import (
 	"sort"
 )
 
-// SortedValues collects then sorts; the allow rides on the line above.
+// SortedValues collects then sorts; the maporder allow rides on the
+// line above the append, and the obsdeterminism allow suppresses the
+// stricter any-map-range rule on the loop itself.
 func SortedValues(m map[int]int) []int {
 	var out []int
+	//lint:allow obsdeterminism fixture demonstrates the strict-rule escape hatch
 	for _, v := range m {
 		//lint:allow maporder collected slice is sorted before being returned
 		out = append(out, v)
@@ -33,10 +36,11 @@ func Guard(v int) int {
 }
 
 // WrongRule shows that an allow for a different rule does not suppress:
-// the panicfree allow below must NOT silence maporder.
+// the panicfree allow below must NOT silence maporder, and the
+// unsuppressed map range is still an obsdeterminism finding.
 func WrongRule(m map[int]int) []int {
 	var out []int
-	for k := range m {
+	for k := range m { // want:obsdeterminism
 		//lint:allow panicfree mismatched rule name
 		out = append(out, k) // want:maporder
 	}

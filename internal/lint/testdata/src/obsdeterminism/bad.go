@@ -1,0 +1,41 @@
+// Package obsdeterminism is a lint fixture for the obsdeterminism
+// analyzer. Every map iteration below is order-independent in the
+// maporder sense — nothing leaks iteration order into a result — so the
+// general rule stays silent; the observability layer bans them anyway.
+package obsdeterminism
+
+import "time"
+
+type event struct {
+	round int
+	name  string
+}
+
+type sink struct{ events []event }
+
+func (s *sink) emit(e event) { s.events = append(s.events, e) }
+
+// Total folds counter values commutatively. Order-independent, so
+// maporder is silent — but an export path summing a map is one refactor
+// away from printing it, so the obs layer forbids the iteration itself.
+func Total(counters map[string]int64) int64 {
+	var total int64
+	for _, v := range counters { // want:obsdeterminism
+		total += v
+	}
+	return total
+}
+
+// Flush emits one event per gauge. The emit call accumulates through a
+// method, which maporder does not track; the emission order is still
+// randomized map order, which would reach the event log.
+func Flush(s *sink, gauges map[string]int64) {
+	for name := range gauges { // want:obsdeterminism
+		s.emit(event{name: name})
+	}
+}
+
+// Stamp timestamps an event with the wall clock instead of a round.
+func Stamp(s *sink) {
+	s.emit(event{round: int(time.Now().Unix())}) // want:obsdeterminism
+}

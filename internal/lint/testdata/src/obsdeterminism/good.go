@@ -1,0 +1,26 @@
+package obsdeterminism
+
+// point mirrors one registry snapshot row.
+type point struct {
+	name  string
+	value int64
+}
+
+// Snapshot walks the insertion-order slice and consults the map only
+// for keyed lookups — the pattern the observability layer uses in place
+// of map iteration.
+func Snapshot(order []string, values map[string]int64) []point {
+	out := make([]point, 0, len(order))
+	for _, name := range order {
+		out = append(out, point{name: name, value: values[name]})
+	}
+	return out
+}
+
+// Rounds uses the simulation's own clock — a round counter — never the
+// wall clock.
+func Rounds(s *sink, upto int) {
+	for r := 1; r <= upto; r++ {
+		s.emit(event{round: r})
+	}
+}

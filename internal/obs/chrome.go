@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// consumed by Perfetto and chrome://tracing).
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`
+	Dur  int64            `json:"dur,omitempty"`
+	Pid  int32            `json:"pid"`
+	Tid  int32            `json:"tid"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usPerRound maps simulation rounds onto the trace's microsecond axis:
+// one round renders as one millisecond, so Perfetto's time ruler reads
+// directly as rounds.
+const usPerRound = 1000
+
+// WriteChromeTrace converts an event stream into Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. The
+// mapping: processes (pid) are Tracks (reduction parties, subnetworks),
+// threads (tid) are nodes, and the time axis is rounds (1 round = 1ms).
+// PhaseEnter events become spans lasting until the same node's next
+// phase boundary; decides, lock transitions, spoil marks, and custom
+// events become instants; RoundEnd events become counter samples of
+// senders and bits per round. Output is deterministic: events are sorted
+// by (ts, pid, tid, name) after the metadata block.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+	maxRound := int32(1)
+	for _, ev := range events {
+		if ev.Round > maxRound {
+			maxRound = ev.Round
+		}
+	}
+
+	// Phase spans: group boundaries per (track, node) by sorting, then
+	// close each span at the next boundary of the same node.
+	var phases []Event
+	for _, ev := range events {
+		if ev.Kind == KindPhaseEnter {
+			phases = append(phases, ev)
+		}
+	}
+	sort.SliceStable(phases, func(i, j int) bool {
+		a, b := phases[i], phases[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Round < b.Round
+	})
+	for i, ev := range phases {
+		end := maxRound + 1
+		if i+1 < len(phases) && phases[i+1].Track == ev.Track && phases[i+1].Node == ev.Node {
+			end = phases[i+1].Round
+		}
+		name := ev.Name.String()
+		if name == "" {
+			name = "phase"
+		}
+		out = append(out, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   int64(ev.Round) * usPerRound,
+			Dur:  int64(end-ev.Round) * usPerRound,
+			Pid:  ev.Track,
+			Tid:  ev.Node,
+			Args: map[string]int64{"phase": ev.A, "subphase": ev.B},
+		})
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindDecide, KindLockAcquire, KindLockRollback, KindSpoilMark, KindCustom:
+			name := ev.Name.String()
+			if name == "" {
+				name = ev.Kind.String()
+			}
+			out = append(out, chromeEvent{
+				Name: name,
+				Ph:   "i",
+				Ts:   int64(ev.Round) * usPerRound,
+				Pid:  ev.Track,
+				Tid:  ev.Node,
+				S:    "t",
+				Args: map[string]int64{"a": ev.A, "b": ev.B},
+			})
+		case KindRoundEnd:
+			out = append(out, chromeEvent{
+				Name: "round_totals",
+				Ph:   "C",
+				Ts:   int64(ev.Round) * usPerRound,
+				Pid:  ev.Track,
+				Args: map[string]int64{"senders": ev.A, "bits": ev.B},
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Name < b.Name
+	})
+
+	// Metadata: name each track process and node thread, derived from
+	// the sorted event list so the block itself is deterministic.
+	var meta []chromeEvent
+	seenPid := int32(-1)
+	type pidTid struct{ pid, tid int32 }
+	lastThread := pidTid{-1, -1}
+	for _, ev := range out {
+		if ev.Pid != seenPid {
+			seenPid = ev.Pid
+			meta = append(meta, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: ev.Pid,
+				Args: map[string]int64{"track": int64(ev.Pid)},
+			})
+		}
+		if (pidTid{ev.Pid, ev.Tid}) != lastThread {
+			lastThread = pidTid{ev.Pid, ev.Tid}
+			meta = append(meta, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: ev.Pid, Tid: ev.Tid,
+				Args: map[string]int64{"node": int64(ev.Tid)},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, out...),
+		DisplayTimeUnit: "ms",
+	})
+}

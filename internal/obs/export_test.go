@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindRoundStart, Round: 1},
+		{Kind: KindPhaseEnter, Round: 1, Node: 0, Track: 0, A: 1, B: 0, Name: Intern("spread")},
+		{Kind: KindSend, Round: 1, Node: 2, A: 64},
+		{Kind: KindLockAcquire, Round: 2, Node: 3, A: 7, B: 1},
+		{Kind: KindPhaseEnter, Round: 3, Node: 0, Track: 0, A: 1, B: 1, Name: Intern("count1")},
+		{Kind: KindSpoilMark, Round: 3, Node: 5, Track: 1},
+		{Kind: KindLockRollback, Round: 4, Node: 3, A: 7},
+		{Kind: KindDecide, Round: 5, Node: 3, A: 7},
+		{Kind: KindRoundEnd, Round: 5, A: 4, B: 256},
+		{Kind: KindCustom, Round: 5, Node: 3, Name: Intern("leader_declared")},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, events)
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	events := sampleEvents()
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodes of the same events differ")
+	}
+}
+
+func TestJSONLRejectsUnknownKind(t *testing.T) {
+	_, err := ReadJSONL(bytes.NewReader([]byte(`{"kind":"warp_drive","round":1}` + "\n")))
+	if err == nil {
+		t.Fatal("unknown kind must be an error")
+	}
+}
+
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("engine_bits_total").Add(128)
+	r.Gauge("leader_phase").Set(3)
+	h := r.Histogram("phase_len_rounds", []int64{1, 2, 4})
+	for _, v := range []int64{1, 3, 9} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsText(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden (go test ./internal/obs -run Golden -update to refresh):\n%s", buf.String())
+	}
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	phases, instants, counters, meta := 0, 0, 0, 0
+	for i, ev := range trace.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		if name == "" || ph == "" {
+			t.Fatalf("event %d missing name/ph: %v", i, ev)
+		}
+		switch ph {
+		case "X":
+			phases++
+			if dur, _ := ev["dur"].(float64); dur <= 0 {
+				t.Fatalf("span %q has non-positive dur: %v", name, ev)
+			}
+		case "i":
+			instants++
+		case "C":
+			counters++
+		case "M":
+			meta++
+			if counters+instants+phases > 0 {
+				t.Fatal("metadata events must precede data events")
+			}
+		default:
+			t.Fatalf("unexpected phase type %q", ph)
+		}
+	}
+	if phases != 2 || counters != 1 || instants != 5 || meta == 0 {
+		t.Fatalf("event mix X=%d i=%d C=%d M=%d, want 2/5/1/>0", phases, instants, counters, meta)
+	}
+
+	var again bytes.Buffer
+	if err := WriteChromeTrace(&again, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two exports of the same events differ")
+	}
+}

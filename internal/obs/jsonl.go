@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonEvent is the JSONL wire form of an Event. Kinds and names travel
+// as strings so logs are self-describing and mergeable across processes
+// (interned Key values are process-local).
+type jsonEvent struct {
+	Kind  string `json:"kind"`
+	Round int32  `json:"round"`
+	Node  int32  `json:"node,omitempty"`
+	Track int32  `json:"track,omitempty"`
+	A     int64  `json:"a,omitempty"`
+	B     int64  `json:"b,omitempty"`
+	Name  string `json:"name,omitempty"`
+}
+
+// WriteJSONL writes events as one JSON object per line. The encoding is
+// deterministic: fixed field order, zero-valued optional fields omitted.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		data, err := json.Marshal(jsonEvent{
+			Kind:  ev.Kind.String(),
+			Round: ev.Round,
+			Node:  ev.Node,
+			Track: ev.Track,
+			A:     ev.A,
+			B:     ev.B,
+			Name:  ev.Name.String(),
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a stream written by WriteJSONL (blank lines are
+// skipped, unknown kinds are an error). Names are re-interned, so
+// WriteJSONL → ReadJSONL round-trips to equal Event values in-process.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %v", line, err)
+		}
+		kind, ok := KindFromString(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: line %d: unknown event kind %q", line, je.Kind)
+		}
+		out = append(out, Event{
+			Kind:  kind,
+			Round: je.Round,
+			Node:  je.Node,
+			Track: je.Track,
+			A:     je.A,
+			B:     je.B,
+			Name:  Intern(je.Name),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		back, ok := KindFromString(s)
+		if !ok || back != k {
+			t.Fatalf("KindFromString(%q) = %v,%v want %v", s, back, ok, k)
+		}
+	}
+	if _, ok := KindFromString("no_such_kind"); ok {
+		t.Fatal("KindFromString accepted an unknown kind")
+	}
+}
+
+func TestInternStable(t *testing.T) {
+	a := Intern("spread")
+	b := Intern("count1")
+	if a == b {
+		t.Fatal("distinct names interned to the same key")
+	}
+	if Intern("spread") != a {
+		t.Fatal("re-interning is not stable")
+	}
+	if a.String() != "spread" || b.String() != "count1" {
+		t.Fatalf("resolve mismatch: %q %q", a.String(), b.String())
+	}
+	if Intern("") != 0 || Key(0).String() != "" {
+		t.Fatal("empty name must be key 0")
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rounds_total")
+	c.Add(3)
+	r.Counter("rounds_total").Add(2)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d want 5", got)
+	}
+	g := r.Gauge("phase")
+	g.Set(7)
+	g.Set(4)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d want 4", got)
+	}
+	h := r.Histogram("phase_len", []int64{1, 4, 16})
+	for _, v := range []int64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	// buckets: <=1: {0,1}, <=4: {2}, <=16: {5}, +Inf: {100}
+	want := []int64{2, 1, 1, 1}
+	if !reflect.DeepEqual(h.counts, want) {
+		t.Fatalf("buckets = %v want %v", h.counts, want)
+	}
+	if h.sum != 108 || h.n != 5 {
+		t.Fatalf("sum,n = %d,%d want 108,5", h.sum, h.n)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("y").Set(2)
+	r.Histogram("z", []int64{1}).Observe(3)
+	r.Merge(NewRegistry())
+	NewRegistry().Merge(r)
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+}
+
+func TestRegistryMergeAndSnapshotDeterminism(t *testing.T) {
+	bounds := []int64{2, 8}
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, n := range order {
+			switch n {
+			case "c":
+				r.Counter("cells").Add(2)
+			case "g":
+				r.Gauge("last_phase").Set(3)
+			case "h":
+				r.Histogram("rounds", bounds).Observe(5)
+			}
+		}
+		return r
+	}
+	// Same updates, different creation interleavings.
+	a := build([]string{"c", "g", "h"})
+	b := build([]string{"h", "c", "g"})
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("snapshot depends on creation order")
+	}
+
+	m1 := NewRegistry()
+	m1.Merge(a)
+	m1.Merge(b)
+	m2 := NewRegistry()
+	m2.Merge(b)
+	m2.Merge(a)
+	if !reflect.DeepEqual(m1.Snapshot(), m2.Snapshot()) {
+		t.Fatal("merged snapshot depends on merge order")
+	}
+	sn := m1.Snapshot()
+	if len(sn) != 3 {
+		t.Fatalf("snapshot len = %d want 3", len(sn))
+	}
+	if sn[0].Name != "cells" || sn[0].Value != 4 {
+		t.Fatalf("merged counter = %+v", sn[0])
+	}
+	if sn[2].Name != "rounds" || sn[2].Count != 2 || sn[2].Sum != 10 {
+		t.Fatalf("merged histogram = %+v", sn[2])
+	}
+}
+
+func TestRingWrapAndOrder(t *testing.T) {
+	r := NewRing(3)
+	for i := int32(1); i <= 5; i++ {
+		r.Emit(Event{Kind: KindRoundStart, Round: i})
+	}
+	if r.Len() != 3 || r.Dropped() != 2 {
+		t.Fatalf("len,dropped = %d,%d want 3,2", r.Len(), r.Dropped())
+	}
+	got := r.Events()
+	rounds := []int32{got[0].Round, got[1].Round, got[2].Round}
+	if !reflect.DeepEqual(rounds, []int32{3, 4, 5}) {
+		t.Fatalf("retained rounds = %v want [3 4 5]", rounds)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("reset did not empty the ring")
+	}
+	r.Emit(Event{Kind: KindDecide, Round: 9})
+	if ev := r.Events(); len(ev) != 1 || ev[0].Round != 9 {
+		t.Fatalf("post-reset events = %v", ev)
+	}
+}
+
+func TestRingEmitZeroAlloc(t *testing.T) {
+	r := NewRing(16)
+	var s Sink = r // emit through the interface, as the engine does
+	ev := Event{Kind: KindSend, Round: 1, Node: 2, A: 64, Name: Intern("x")}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Emit allocates %.1f allocs/op, want 0", allocs)
+	}
+}

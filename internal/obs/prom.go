@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteMetricsText writes the registry in the Prometheus text exposition
+// format (0.0.4): a # TYPE line per metric, histogram buckets with
+// cumulative le labels plus _sum and _count series. Output is sorted by
+// metric name (Snapshot order), so the exposition is byte-identical for
+// registries that recorded the same updates.
+func WriteMetricsText(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range r.Snapshot() {
+		switch p.Type {
+		case "counter", "gauge":
+			fmt.Fprintf(bw, "# TYPE %s %s\n%s %d\n", p.Name, p.Type, p.Name, p.Value)
+		case "histogram":
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", p.Name)
+			cum := int64(0)
+			for i, b := range p.Bounds {
+				cum += p.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", p.Name, b, cum)
+			}
+			cum += p.Counts[len(p.Counts)-1]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", p.Name, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", p.Name, p.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", p.Name, p.Count)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,219 @@
+package obs
+
+import "sort"
+
+// Registry is a metrics registry: counters, gauges, and fixed-bucket
+// histograms addressed by name. It is nil-safe end to end — methods on a
+// nil *Registry return nil handles and nil handles no-op — so call sites
+// can stay unconditional while the no-observer path does no work.
+//
+// A Registry and its handles are not safe for concurrent use; the
+// intended pattern (used by the sweep harness) is one registry per
+// goroutine, merged afterwards in a deterministic order. Metric creation
+// order is retained so Merge never iterates a map, and Snapshot sorts by
+// name, making roll-ups bit-identical at every worker count.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	order    []metricRef // creation order; the no-map-iteration walk
+}
+
+type metricRef struct {
+	name string
+	kind string // "counter" | "gauge" | "histogram"
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotone sum.
+type Counter struct{ n int64 }
+
+// Add increments the counter; no-op on a nil handle.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.n += d
+	}
+}
+
+// Value returns the current sum (0 for a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is a last-write-wins level.
+type Gauge struct{ v int64 }
+
+// Set stores v; no-op on a nil handle.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the last stored value (0 for a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations. Bounds
+// are inclusive upper bucket edges in ascending order; an implicit +Inf
+// bucket catches the rest.
+type Histogram struct {
+	bounds []int64
+	counts []int64 // len(bounds)+1; last is the +Inf bucket
+	sum    int64
+	n      int64
+}
+
+// Observe records v; no-op on a nil handle.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.order = append(r.order, metricRef{name, "counter"})
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.order = append(r.order, metricRef{name, "gauge"})
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use (later bounds are ignored; one
+// name means one bucket layout).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	r.order = append(r.order, metricRef{name, "histogram"})
+	return h
+}
+
+// Merge folds other into r: counters and histogram buckets sum, gauges
+// take other's value (last writer wins — merge in a deterministic order).
+// Histograms merge positionally; one metric name must keep one bucket
+// layout across registries, which all in-repo call sites guarantee by
+// using shared bound slices. A nil receiver or argument no-ops.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for _, ref := range other.order {
+		switch ref.kind {
+		case "counter":
+			r.Counter(ref.name).Add(other.counters[ref.name].n)
+		case "gauge":
+			r.Gauge(ref.name).Set(other.gauges[ref.name].v)
+		case "histogram":
+			oh := other.hists[ref.name]
+			h := r.Histogram(ref.name, oh.bounds)
+			n := len(h.counts)
+			if len(oh.counts) < n {
+				n = len(oh.counts)
+			}
+			for i := 0; i < n; i++ {
+				h.counts[i] += oh.counts[i]
+			}
+			h.sum += oh.sum
+			h.n += oh.n
+		}
+	}
+}
+
+// MetricPoint is one exported metric in a Snapshot.
+type MetricPoint struct {
+	Name string
+	Type string // "counter" | "gauge" | "histogram"
+	// Value holds the counter sum or gauge level.
+	Value int64
+	// Histogram fields: Bounds are bucket upper edges, Counts has one
+	// extra trailing +Inf bucket, Sum/Count aggregate the observations.
+	Bounds []int64
+	Counts []int64
+	Sum    int64
+	Count  int64
+}
+
+// Snapshot exports every metric sorted by name (ties broken by type), so
+// two registries that saw the same updates export identically whatever
+// the creation interleaving was. A nil registry returns nil.
+func (r *Registry) Snapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	out := make([]MetricPoint, 0, len(r.order))
+	for _, ref := range r.order {
+		p := MetricPoint{Name: ref.name, Type: ref.kind}
+		switch ref.kind {
+		case "counter":
+			p.Value = r.counters[ref.name].n
+		case "gauge":
+			p.Value = r.gauges[ref.name].v
+		case "histogram":
+			h := r.hists[ref.name]
+			p.Bounds = append([]int64(nil), h.bounds...)
+			p.Counts = append([]int64(nil), h.counts...)
+			p.Sum, p.Count = h.sum, h.n
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}

@@ -22,11 +22,11 @@ func newTestMachine(t *testing.T, id, n int) *machine {
 
 func TestAbsorbMaxUpdatesOnlyUpward(t *testing.T) {
 	m := newTestMachine(t, 3, 16)
-	m.absorb(m.encodeSpreadFor(9, 1))
+	m.absorb(1, m.encodeSpreadFor(9, 1))
 	if m.maxID != 9 || m.maxVal != 1 {
 		t.Fatalf("maxID=%d maxVal=%d, want 9, 1", m.maxID, m.maxVal)
 	}
-	m.absorb(m.encodeSpreadFor(5, 0)) // lower id: ignored
+	m.absorb(1, m.encodeSpreadFor(5, 0)) // lower id: ignored
 	if m.maxID != 9 || m.maxVal != 1 {
 		t.Fatalf("lower id overwrote max: %d", m.maxID)
 	}
@@ -44,11 +44,11 @@ func (m *machine) encodeSpreadFor(id int, val int64) dynet.Message {
 
 func TestAbsorbLockFirstWins(t *testing.T) {
 	m := newTestMachine(t, 2, 16)
-	m.absorb(m.encodeLock(msgLock, lockKey{7, 0}))
+	m.absorb(1, m.encodeLock(msgLock, lockKey{7, 0}))
 	if m.lockID != 7 || m.lockPhase != 0 {
 		t.Fatalf("lock = (%d, %d), want (7, 0)", m.lockID, m.lockPhase)
 	}
-	m.absorb(m.encodeLock(msgLock, lockKey{9, 0})) // already locked: ignored
+	m.absorb(1, m.encodeLock(msgLock, lockKey{9, 0})) // already locked: ignored
 	if m.lockID != 7 {
 		t.Fatalf("second lock overwrote the first: %d", m.lockID)
 	}
@@ -57,8 +57,8 @@ func TestAbsorbLockFirstWins(t *testing.T) {
 func TestAbsorbUnlockReleasesAndRemembers(t *testing.T) {
 	m := newTestMachine(t, 2, 16)
 	key := lockKey{7, 3}
-	m.absorb(m.encodeLock(msgLock, key))
-	m.absorb(m.encodeLock(msgUnlock, key))
+	m.absorb(1, m.encodeLock(msgLock, key))
+	m.absorb(1, m.encodeLock(msgUnlock, key))
 	if m.lockID != -1 {
 		t.Fatalf("unlock did not release: lockID=%d", m.lockID)
 	}
@@ -66,13 +66,13 @@ func TestAbsorbUnlockReleasesAndRemembers(t *testing.T) {
 		t.Fatal("unlock not remembered")
 	}
 	// A lock bearing a voided key is rejected forever.
-	m.absorb(m.encodeLock(msgLock, key))
+	m.absorb(1, m.encodeLock(msgLock, key))
 	if m.lockID != -1 {
 		t.Fatal("voided lock key re-acquired")
 	}
 	// But the same candidate with a fresh phase stamp may lock again.
 	fresh := lockKey{7, 5}
-	m.absorb(m.encodeLock(msgLock, fresh))
+	m.absorb(1, m.encodeLock(msgLock, fresh))
 	if m.lockID != 7 || m.lockPhase != 5 {
 		t.Fatalf("fresh-phase lock rejected: (%d, %d)", m.lockID, m.lockPhase)
 	}
@@ -80,8 +80,8 @@ func TestAbsorbUnlockReleasesAndRemembers(t *testing.T) {
 
 func TestStaleUnlockDoesNotVoidNewLock(t *testing.T) {
 	m := newTestMachine(t, 2, 16)
-	m.absorb(m.encodeLock(msgLock, lockKey{7, 5}))
-	m.absorb(m.encodeLock(msgUnlock, lockKey{7, 3})) // stale phase
+	m.absorb(1, m.encodeLock(msgLock, lockKey{7, 5}))
+	m.absorb(1, m.encodeLock(msgUnlock, lockKey{7, 3})) // stale phase
 	if m.lockID != 7 || m.lockPhase != 5 {
 		t.Fatalf("stale unlock released a newer lock: (%d, %d)", m.lockID, m.lockPhase)
 	}
@@ -92,13 +92,13 @@ func TestAbsorbLeaderFirstAnnouncementWins(t *testing.T) {
 	m.leaderID, m.leaderVal = 9, 1
 	msg := m.encodeLeader()
 	m2 := newTestMachine(t, 3, 16)
-	m2.absorb(msg)
+	m2.absorb(1, msg)
 	if m2.leaderID != 9 || m2.leaderVal != 1 {
 		t.Fatalf("leader not adopted: (%d, %d)", m2.leaderID, m2.leaderVal)
 	}
 	// A conflicting later announcement is ignored (first wins).
 	m.leaderID, m.leaderVal = 5, 0
-	m2.absorb(m.encodeLeader())
+	m2.absorb(1, m.encodeLeader())
 	if m2.leaderID != 9 {
 		t.Fatalf("later announcement overwrote leader: %d", m2.leaderID)
 	}
@@ -108,9 +108,9 @@ func TestAbsorbTruncatedMessagesIgnored(t *testing.T) {
 	m := newTestMachine(t, 1, 16)
 	before := *m
 	// 2-bit message: tag read fails.
-	m.absorb(dynet.Message{Payload: []byte{0xFF}, NBits: 2})
+	m.absorb(1, dynet.Message{Payload: []byte{0xFF}, NBits: 2})
 	// Valid tag but truncated body.
-	m.absorb(dynet.Message{Payload: []byte{0x00}, NBits: 3})
+	m.absorb(1, dynet.Message{Payload: []byte{0x00}, NBits: 3})
 	if m.maxID != before.maxID || m.lockID != before.lockID || m.leaderID != before.leaderID {
 		t.Fatal("truncated messages mutated state")
 	}
@@ -136,7 +136,7 @@ func TestSpreadRotationCarriesUnlocks(t *testing.T) {
 	for idx := 0; idx < 6; idx++ {
 		msg := m.encodeSpread(idx)
 		m2 := newTestMachine(t, 3, 16)
-		m2.absorb(msg)
+		m2.absorb(1, msg)
 		if m2.unlocked[(lockKey{4, 1}).encode()] {
 			sawUnlock = true
 		} else {

@@ -39,9 +39,23 @@ package leader
 import (
 	"dyndiam/internal/bitio"
 	"dyndiam/internal/dynet"
+	"dyndiam/internal/obs"
 	"dyndiam/internal/protocols/counting"
 	"dyndiam/internal/rng"
 )
+
+// Interned event names, created once so emit paths stay allocation-free.
+var (
+	keySpread    = obs.Intern("spread")
+	keyCount1    = obs.Intern("count1")
+	keyLock      = obs.Intern("lock")
+	keyCount2    = obs.Intern("count2")
+	keyCandidacy = obs.Intern("candidacy")
+	keyLeader    = obs.Intern("leader_declared")
+)
+
+// subphaseKeys maps subphase indices to their interned span names.
+var subphaseKeys = [numSubphases]obs.Key{keySpread, keyCount1, keyLock, keyCount2}
 
 // Extra keys read by the protocol.
 const (
@@ -87,13 +101,23 @@ const (
 )
 
 // Protocol is the Section 7 LEADERELECT protocol.
-type Protocol struct{}
+type Protocol struct {
+	// Obs, when non-nil, is shared by every machine the protocol builds
+	// and receives the phase/lock state machine's events: PhaseEnter at
+	// each subphase boundary, LockAcquire when a node takes a lock (its
+	// own or a flooded one), LockRollback when a candidacy fails or an
+	// unlock notice voids a held lock, and Custom "candidacy" /
+	// "leader_declared" markers. Machines emit from their Step/Deliver
+	// calls, so instrumented runs must use Engine Workers=1 (sinks are
+	// single-goroutine; see obs.Sink).
+	Obs obs.Sink
+}
 
 // Name implements dynet.Protocol.
 func (Protocol) Name() string { return "leader/section7" }
 
 // NewMachine implements dynet.Protocol.
-func (Protocol) NewMachine(cfg dynet.Config) dynet.Machine {
+func (p Protocol) NewMachine(cfg dynet.Config) dynet.Machine {
 	nPrime := int(cfg.ExtraInt(ExtraNPrime, int64(cfg.N)))
 	c := float64(cfg.ExtraInt(ExtraCPermille, 200)) / 1000
 	k := int(cfg.ExtraInt(ExtraK, int64(counting.KFor(nPrime))))
@@ -114,6 +138,7 @@ func (Protocol) NewMachine(cfg dynet.Config) dynet.Machine {
 		lockID:      -1,
 		lockPhase:   -1,
 		unlocked:    make(map[int64]bool),
+		obs:         p.Obs,
 	}
 	return m
 }
@@ -128,6 +153,7 @@ type machine struct {
 	skipStage1  bool
 	outputValue bool
 	coins       *rng.Source
+	obs         obs.Sink // nil unless the run is instrumented
 
 	// Gossip state.
 	maxID     int            // largest id seen
@@ -167,6 +193,14 @@ func decodeLockKey(v int64) lockKey {
 	return lockKey{id: int(v >> 20), phase: int(v & (1<<20 - 1))}
 }
 
+// emit reports one event when the machine is instrumented; with a nil sink
+// it is a branch and a return, keeping the uninstrumented path free.
+func (m *machine) emit(kind obs.Kind, r int, a, b int64, name obs.Key) {
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Kind: kind, Round: int32(r), Node: int32(m.cfg.ID), A: a, B: b, Name: name})
+	}
+}
+
 // locate maps a 1-based round to (phase, subphase, index within subphase,
 // first round of phase). Subphase lengths: SPREAD and LOCK take
 // alpha*(2^p+w) rounds, COUNT1 and COUNT2 take beta*k*(2^p+w).
@@ -195,7 +229,7 @@ func (m *machine) locate(r int) (phase, sub, idx int) {
 
 func (m *machine) Step(r int) (dynet.Action, dynet.Message) {
 	phase, sub, idx := m.locate(r)
-	m.transition(phase, sub, idx)
+	m.transition(r, phase, sub, idx)
 
 	// A node that knows the leader floods the announcement every round,
 	// unconditionally: always-send flooding terminates within D rounds
@@ -228,16 +262,17 @@ func (m *machine) Step(r int) (dynet.Action, dynet.Message) {
 
 // transition runs the subphase-boundary logic (executed by every node at
 // the first round of each subphase).
-func (m *machine) transition(phase, sub, idx int) {
+func (m *machine) transition(r, phase, sub, idx int) {
 	if idx != 0 {
 		return
 	}
+	m.emit(obs.KindPhaseEnter, r, int64(phase), int64(sub), subphaseKeys[sub])
 	switch sub {
 	case subSpread:
 		// Evaluate the previous phase's COUNT2 before wiping it: the
 		// candidate may have been sending in the final COUNT2 round,
 		// and all deliveries for that round are complete by now.
-		m.finishCount2()
+		m.finishCount2(r)
 		// New phase: reset phase-local state.
 		m.curPhase = phase
 		m.sketch1 = nil
@@ -261,6 +296,7 @@ func (m *machine) transition(phase, sub, idx int) {
 			}
 			if m.isCandidate {
 				m.candidacies++
+				m.emit(obs.KindCustom, r, int64(phase), 0, keyCandidacy)
 			}
 		}
 		if m.isCandidate {
@@ -268,6 +304,7 @@ func (m *machine) transition(phase, sub, idx int) {
 			key := lockKey{m.cfg.ID, phase}
 			if m.lockID == -1 {
 				m.lockID, m.lockPhase = key.id, key.phase
+				m.emit(obs.KindLockAcquire, r, int64(key.id), int64(key.phase), 0)
 			}
 			m.lockMsg, m.hasLockMsg = key, true
 		}
@@ -283,7 +320,7 @@ func (m *machine) transition(phase, sub, idx int) {
 // finishCount2 evaluates the candidate's COUNT2 outcome for the phase that
 // just ended: declare leadership on a majority of locks, otherwise schedule
 // the rollback (flood unlock notices in future SPREADs).
-func (m *machine) finishCount2() {
+func (m *machine) finishCount2(r int) {
 	if !m.isCandidate || m.leaderID >= 0 || m.sketch2 == nil {
 		return
 	}
@@ -292,10 +329,12 @@ func (m *machine) finishCount2() {
 		m.leaderID = m.cfg.ID
 		m.leaderVal = m.cfg.Input
 		m.decidedPhase = m.curPhase
+		m.emit(obs.KindCustom, r, int64(m.curPhase), 0, keyLeader)
 	} else {
 		m.pending = append(m.pending, key)
 		m.unlockBy(key)
 		m.failures++
+		m.emit(obs.KindLockRollback, r, int64(key.id), int64(key.phase), 0)
 	}
 }
 
@@ -355,11 +394,11 @@ func (m *machine) encodeLeader() dynet.Message {
 
 func (m *machine) Deliver(r int, msgs []dynet.Message) {
 	for _, msg := range msgs {
-		m.absorb(msg)
+		m.absorb(r, msg)
 	}
 }
 
-func (m *machine) absorb(msg dynet.Message) {
+func (m *machine) absorb(r int, msg dynet.Message) {
 	rd := bitio.NewReader(msg.Payload, msg.NBits)
 	tag, err := rd.ReadUint(3)
 	if err != nil {
@@ -398,6 +437,7 @@ func (m *machine) absorb(msg dynet.Message) {
 		if m.lockID == -1 {
 			m.lockID, m.lockPhase = key.id, key.phase
 			m.locksAccepted++
+			m.emit(obs.KindLockAcquire, r, int64(key.id), int64(key.phase), 0)
 		}
 		if !m.hasLockMsg {
 			m.lockMsg, m.hasLockMsg = key, true
@@ -409,9 +449,13 @@ func (m *machine) absorb(msg dynet.Message) {
 		}
 		key := decodeLockKey(int64(v))
 		if !m.unlocked[key.encode()] {
+			held := m.lockID == key.id && m.lockPhase == key.phase
 			m.unlockBy(key)
 			m.pending = append(m.pending, key)
 			m.unlocksSeen++
+			if held {
+				m.emit(obs.KindLockRollback, r, int64(key.id), int64(key.phase), 0)
+			}
 		}
 	case msgLeader:
 		id, err1 := rd.ReadUvarint()

@@ -1,0 +1,86 @@
+package twoparty
+
+import (
+	"testing"
+
+	"dyndiam/internal/chains"
+	"dyndiam/internal/disjcp"
+	"dyndiam/internal/obs"
+	"dyndiam/internal/protocols/flood"
+	"dyndiam/internal/rng"
+	"dyndiam/internal/subnet"
+)
+
+// TestReductionObserverEvents checks the reduction's event stream: spoil
+// marks cover exactly the (party, node) pairs whose spoil boundary falls
+// inside the horizon, forwarded-special sends account for every forwarded
+// bit per direction, and the metrics counters agree with the Result.
+func TestReductionObserverEvents(t *testing.T) {
+	src := rng.New(11)
+	in := disjcp.Random(2, 13, src)
+	net, err := subnet.NewCFlood(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := FromCFlood(net, flood.CFlood{}, 5, map[string]int64{flood.ExtraD: 10})
+	ring := obs.NewRing(1 << 16)
+	reg := obs.NewRegistry()
+	setup.Obs = ring
+	setup.Metrics = reg
+	res, err := Run(setup, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events", ring.Dropped())
+	}
+
+	spoils := 0
+	bits := map[chains.Party]int{}
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case obs.KindSpoilMark:
+			spoils++
+			if int(ev.Round) > setup.Horizon {
+				t.Fatalf("spoil mark beyond the horizon: %+v", ev)
+			}
+			if from := setup.Spoiled[chains.Party(ev.Track)][ev.Node]; from != int(ev.Round) {
+				t.Fatalf("spoil mark round %d, schedule says %d", ev.Round, from)
+			}
+		case obs.KindSend:
+			bits[chains.Party(ev.Track)] += int(ev.A)
+		default:
+			t.Fatalf("unexpected event kind %v from the reduction", ev.Kind)
+		}
+	}
+	wantSpoils := 0
+	for _, p := range []chains.Party{chains.Alice, chains.Bob} {
+		for _, from := range setup.Spoiled[p] {
+			if from <= setup.Horizon {
+				wantSpoils++
+			}
+		}
+	}
+	if spoils != wantSpoils {
+		t.Fatalf("observed %d spoil marks, schedule has %d in horizon", spoils, wantSpoils)
+	}
+	if bits[chains.Alice] != res.BitsAliceToBob || bits[chains.Bob] != res.BitsBobToAlice {
+		t.Fatalf("observed forwarded bits A=%d B=%d, result says %d/%d",
+			bits[chains.Alice], bits[chains.Bob], res.BitsAliceToBob, res.BitsBobToAlice)
+	}
+
+	for _, m := range []struct {
+		name string
+		want int64
+	}{
+		{"reduction_rounds_total", int64(res.Rounds)},
+		{"reduction_bits_alice_to_bob", int64(res.BitsAliceToBob)},
+		{"reduction_bits_bob_to_alice", int64(res.BitsBobToAlice)},
+		{"reduction_spoiled_in_horizon", int64(wantSpoils)},
+		{"reduction_lemma_violations", int64(len(res.LemmaViolations))},
+	} {
+		if got := reg.Counter(m.name).Value(); got != m.want {
+			t.Errorf("%s = %d want %d", m.name, got, m.want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"dyndiam/internal/chains"
 	"dyndiam/internal/dynet"
 	"dyndiam/internal/graph"
+	"dyndiam/internal/obs"
 	"dyndiam/internal/rng"
 	"dyndiam/internal/subnet"
 )
@@ -71,6 +72,19 @@ type Setup struct {
 	Oracle dynet.Protocol
 	Extra  map[string]int64
 	Seed   uint64
+
+	// Obs, when non-nil, receives reduction events: one SpoilMark per
+	// (party, node) whose spoil boundary falls inside the horizon (Track
+	// is the party, Round the first spoiled round — the empirical face of
+	// Lemmas 3–4), and one Send per forwarded special-node message (Track
+	// is the owning party, A the payload bits). Run is single-goroutine,
+	// and events follow the fixed Alice-then-Bob, ascending-node order of
+	// the simulation, so the stream is deterministic.
+	Obs obs.Sink
+	// Metrics, when non-nil, accumulates reduction totals: forwarded bits
+	// per direction, simulated rounds, spoiled-node counts, and (with the
+	// referee) Lemma 5 violations.
+	Metrics *obs.Registry
 }
 
 // Result reports one reduction run.
@@ -356,6 +370,17 @@ func Run(s Setup, referee bool) (*Result, error) {
 	}
 
 	res := &Result{Rounds: s.Horizon}
+	spoiledInHorizon := 0
+	for _, p := range parties {
+		for v, from := range spoiled[p] {
+			if from <= s.Horizon {
+				spoiledInHorizon++
+				if s.Obs != nil {
+					s.Obs.Emit(obs.Event{Kind: obs.KindSpoilMark, Round: int32(from), Node: int32(v), Track: int32(p)})
+				}
+			}
+		}
+	}
 	// Per-round records exist only for the referee's Lemma 5 comparison;
 	// without it, Run keeps no history and reuses its inbox buffer. Rounds
 	// are carved from one flat arena per party.
@@ -427,6 +452,9 @@ func Run(s Setup, referee bool) (*Result, error) {
 						res.BitsAliceToBob += pOutgoing[v].NBits
 					} else {
 						res.BitsBobToAlice += pOutgoing[v].NBits
+					}
+					if s.Obs != nil {
+						s.Obs.Emit(obs.Event{Kind: obs.KindSend, Round: int32(r), Node: int32(v), Track: int32(p), A: int64(pOutgoing[v].NBits)})
 					}
 				}
 			}
@@ -500,6 +528,13 @@ func Run(s Setup, referee bool) (*Result, error) {
 			res.LemmaViolations = append(res.LemmaViolations,
 				compare(p, s, records[p], refRecords)...)
 		}
+	}
+	if s.Metrics != nil {
+		s.Metrics.Counter("reduction_rounds_total").Add(int64(res.Rounds))
+		s.Metrics.Counter("reduction_bits_alice_to_bob").Add(int64(res.BitsAliceToBob))
+		s.Metrics.Counter("reduction_bits_bob_to_alice").Add(int64(res.BitsBobToAlice))
+		s.Metrics.Counter("reduction_spoiled_in_horizon").Add(int64(spoiledInHorizon))
+		s.Metrics.Counter("reduction_lemma_violations").Add(int64(len(res.LemmaViolations)))
 	}
 	return res, nil
 }
