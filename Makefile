@@ -1,8 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHOUT ?=
+FUZZPKGS ?= ./internal/dynet ./internal/faults
 
-.PHONY: build test race lint fuzz bench ci
+.PHONY: build test race lint fuzz bench chaos ci
 
 build:
 	$(GO) build ./...
@@ -22,12 +23,19 @@ lint:
 bench:
 	$(GO) run ./cmd/bench $(if $(BENCHOUT),-out $(BENCHOUT))
 
-# Short smoke run of every native fuzz target in internal/dynet.
+# Short smoke run of every native fuzz target in FUZZPKGS.
 fuzz:
-	@targets=$$($(GO) test ./internal/dynet -list '^Fuzz' | grep '^Fuzz'); \
-	for target in $$targets; do \
-		echo "==> $$target"; \
-		$(GO) test ./internal/dynet -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	@for pkg in $(FUZZPKGS); do \
+		targets=$$($(GO) test $$pkg -list '^Fuzz' | grep '^Fuzz'); \
+		for target in $$targets; do \
+			echo "==> $$pkg $$target"; \
+			$(GO) test $$pkg -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) || exit 1; \
+		done; \
 	done
 
-ci: build lint test race fuzz
+# Small deterministic fault grid: degradation tables for both protocols
+# plus the zero-overhead gate against the clean leader baseline.
+chaos:
+	$(GO) run ./cmd/chaos -n 16 -trials 6 -rates 0,0.05,0.3 -dims drop,crash
+
+ci: build lint test race fuzz chaos

@@ -11,9 +11,17 @@
 // additionally collects per-cell metric roll-ups across every sweep and
 // writes them as a Prometheus text exposition — identical at every
 // -workers setting.
+//
+// -checkpoint FILE records each experiment step as it completes; with
+// -resume, steps already recorded there (whose outputs exist in -out) are
+// skipped, so an interrupted report re-runs only its unfinished steps.
+// Every step's tables are pure functions of the flags, so a resumed
+// report's outputs are identical to an uninterrupted one. Note -obs-out
+// roll-ups only cover the steps that actually ran in this invocation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +42,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
 		workers = flag.Int("workers", 0, "concurrent sweep cells (<1 = GOMAXPROCS); does not change results")
 		obsOut  = flag.String("obs-out", "", "write sweep metric roll-ups as Prometheus text to this file")
+		ckpt    = flag.String("checkpoint", "", "record completed steps in this file")
+		resume  = flag.Bool("resume", false, "skip steps already recorded in the -checkpoint file")
 	)
 	flag.Parse()
 	dyndiam.SetSweepWorkers(*workers)
@@ -128,7 +138,22 @@ func main() {
 		}},
 	}
 
+	done := map[string]bool{}
+	if *ckpt != "" && *resume {
+		var err error
+		if done, err = loadCheckpoint(*ckpt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stepNames := make([]string, len(steps))
+	for i, s := range steps {
+		stepNames[i] = s.name
+	}
 	for _, s := range steps {
+		if done[s.name] && stepOutputsExist(*out, s.name) {
+			fmt.Printf("%-20s %8s  -> resumed from checkpoint\n", s.name, "-")
+			continue
+		}
 		start := time.Now()
 		table, err := s.run()
 		if err != nil {
@@ -136,6 +161,12 @@ func main() {
 		}
 		if err := writeTable(*out, s.name, table); err != nil {
 			log.Fatalf("%s: %v", s.name, err)
+		}
+		done[s.name] = true
+		if *ckpt != "" {
+			if err := saveCheckpoint(*ckpt, stepNames, done); err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
 		}
 		fmt.Printf("%-20s %8s  -> %s.{txt,csv}\n", s.name, time.Since(start).Round(time.Millisecond), s.name)
 	}
@@ -190,6 +221,61 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-20s %8s  -> composition.dot\n", "composition_dot", "-")
+}
+
+// reportCheckpoint is the resume state: names of completed steps. The
+// step outputs themselves live in -out; the checkpoint only records which
+// are done, and resume re-verifies the files exist before skipping.
+type reportCheckpoint struct {
+	Done []string `json:"done"`
+}
+
+func loadCheckpoint(path string) (map[string]bool, error) {
+	done := map[string]bool{}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cp reportCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
+	}
+	for _, name := range cp.Done {
+		done[name] = true
+	}
+	return done, nil
+}
+
+// saveCheckpoint records the completed steps in stepNames order (a slice
+// walk, so the file is deterministic — no map iteration).
+func saveCheckpoint(path string, stepNames []string, done map[string]bool) error {
+	var cp reportCheckpoint
+	for _, name := range stepNames {
+		if done[name] {
+			cp.Done = append(cp.Done, name)
+		}
+	}
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func stepOutputsExist(dir, name string) bool {
+	for _, ext := range []string{".txt", ".csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name+ext)); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 func writeTable(dir, name string, t *dyndiam.ResultTable) error {

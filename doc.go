@@ -43,8 +43,20 @@
 // WriteMetricsText, WriteChromeTrace; summarized by cmd/obsview). See
 // internal/obs and "Observability" in README.md.
 //
+// Robustness is measured, not assumed: a FaultPlan (NewFaultPlan, from a
+// FaultSpec of drop/dup/corrupt rates, crash/rejoin schedules, and edge
+// cuts) attaches to Engine.Plan and injects faults as pure functions of
+// (seed, round, node, edge), so every faulty execution replays
+// bit-identically. A nil plan — and an all-zero spec — costs nothing:
+// the clean path is byte-identical with the layer off. LeaderDegradation
+// and CFloodDegradation sweep fault rates with Wilson-interval error
+// bars and graceful per-cell failure handling (NonTermination,
+// ErrCellPanic, ErrCellTimeout); cmd/chaos drives the grid. See
+// internal/faults and "Robustness & fault injection" in README.md.
+//
 // Model invariants that are code discipline rather than runtime checks
-// (determinism, CONGEST bit accounting, print hygiene, observability
-// determinism) are enforced statically by cmd/dynlint; see "Static
+// (determinism, CONGEST bit accounting, print hygiene, observability and
+// fault-schedule determinism) are enforced statically by cmd/dynlint; see
+// "Static
 // analysis & model invariants" in README.md.
 package dyndiam

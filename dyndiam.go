@@ -8,6 +8,7 @@ import (
 	"dyndiam/internal/disjcp"
 	"dyndiam/internal/dynet"
 	"dyndiam/internal/export"
+	"dyndiam/internal/faults"
 	"dyndiam/internal/graph"
 	"dyndiam/internal/harness"
 	"dyndiam/internal/obs"
@@ -354,6 +355,63 @@ func ConsensusDOT(net *ConsensusNetwork, p Party, r int) string {
 	return export.ConsensusDOT(net, p, r)
 }
 
+// --- Robustness & fault injection (packages faults, harness) ---
+
+// Fault-injection types: see internal/faults for the determinism and
+// zero-overhead contracts, internal/harness for the degradation sweeps.
+type (
+	// FaultSpec configures one fault mix (drop/dup/corrupt/crash/edge-cut
+	// rates plus scheduled outages); the zero Spec injects nothing.
+	FaultSpec = faults.Spec
+	// FaultOutage is one scheduled downtime window.
+	FaultOutage = faults.Outage
+	// FaultPlan is a compiled, seeded fault schedule; assign one to
+	// Engine.Plan to inject it.
+	FaultPlan = faults.Plan
+	// DegradationConfig configures a fault-rate sweep.
+	DegradationConfig = harness.DegradationConfig
+	// DegradationRow is one fault Spec's error-rate estimate.
+	DegradationRow = harness.DegradationRow
+	// CellResult records one graceful-sweep cell's outcome.
+	CellResult = harness.CellResult
+	// CellOutcome classifies a cell result (ok/failed/panicked/timed_out).
+	CellOutcome = harness.CellOutcome
+	// NonTermination is the structured round-budget-exhausted error.
+	NonTermination = harness.NonTermination
+	// ErrCellTimeout is the structured wall-clock-budget cell error.
+	ErrCellTimeout = harness.ErrCellTimeout
+	// ErrCellPanic wraps a recovered cell panic.
+	ErrCellPanic = harness.ErrCellPanic
+)
+
+// Cell outcomes and the default harness round budget.
+const (
+	CellOK             = harness.CellOK
+	CellFailed         = harness.CellFailed
+	CellPanicked       = harness.CellPanicked
+	CellTimedOut       = harness.CellTimedOut
+	DefaultRoundBudget = harness.DefaultRoundBudget
+)
+
+// NewFaultPlan validates and compiles a FaultSpec.
+func NewFaultPlan(spec FaultSpec) (*FaultPlan, error) { return faults.NewPlan(spec) }
+
+// Degradation sweeps and the harness round budget; see internal/harness.
+var (
+	LeaderDegradation      = harness.LeaderDegradation
+	CFloodDegradation      = harness.CFloodDegradation
+	FormatDegradationTable = harness.FormatDegradationTable
+	// SetRoundBudget caps how many rounds open-ended harness runs get
+	// before reporting NonTermination; RoundBudget reads the current cap.
+	SetRoundBudget = harness.SetRoundBudget
+	RoundBudget    = harness.RoundBudget
+	// ReliabilityTrialSeed and FaultTrialSeed are the seed derivations the
+	// reliability and degradation sweeps use per trial — exported so any
+	// single faulty trial can be replayed in isolation (see EXPERIMENTS.md).
+	ReliabilityTrialSeed = harness.ReliabilityTrialSeed
+	FaultTrialSeed       = harness.FaultTrialSeed
+)
+
 // --- Observability (package obs) ---
 
 // Observability types: see internal/obs for the full contract (zero
@@ -386,6 +444,7 @@ const (
 	ObsLockAcquire  = obs.KindLockAcquire
 	ObsLockRollback = obs.KindLockRollback
 	ObsSpoilMark    = obs.KindSpoilMark
+	ObsFault        = obs.KindFault
 	ObsCustom       = obs.KindCustom
 )
 

@@ -57,13 +57,13 @@ func TestEngineRoundZeroAllocs(t *testing.T) {
 	r := 0
 	round := func() {
 		r++
-		e.step(r, actions, outgoing, 1)
+		e.step(r, actions, outgoing, 1, nil)
 		g := e.Adv.Topology(r, actions)
 		if !g.ConnectedInto(dist, queue) {
 			t.Fatal("ring disconnected")
 		}
 		collect(g, actions, outgoing, inboxes)
-		e.deliver(r, actions, inboxes, 1)
+		e.deliver(r, actions, inboxes, 1, nil)
 	}
 	// Warm the inbox backing arrays: both parities of the ping schedule.
 	round()

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"dyndiam/internal/faults"
 	"dyndiam/internal/graph"
 	"dyndiam/internal/obs"
 )
@@ -41,6 +42,18 @@ type Engine struct {
 	// engine_messages_total, engine_bits_total) and per-round histograms
 	// (engine_round_senders, engine_round_bits). Nil means no metric work.
 	Metrics *obs.Registry
+
+	// Plan, when non-nil and enabled, injects deterministic seeded faults
+	// between the adversary's topology and message delivery: crash/rejoin
+	// outages freeze nodes, edge cuts remove topology edges (possibly
+	// disconnecting the round — the adversary's own graph is still held
+	// to the model's connectivity obligation), and per-delivery faults
+	// drop, duplicate, or bit-corrupt message copies. Every injected
+	// fault is counted in Metrics (faults_*_total) and emitted to Obs as
+	// a KindFault event. A nil (or all-zero) Plan keeps the round loop
+	// exactly on the zero-allocation clean path pinned by the alloc
+	// regression tests.
+	Plan *faults.Plan
 
 	// Terminated, when non-nil, overrides the default all-nodes-decided
 	// termination predicate (e.g. CFLOOD terminates when the source
@@ -115,13 +128,25 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 	}
 	sendersHist := e.Metrics.Histogram("engine_round_senders", RoundHistBounds)
 	bitsHist := e.Metrics.Histogram("engine_round_bits", RoundHistBounds)
+	var fs *faultState
+	if e.Plan.Enabled() {
+		fs = newFaultState(e.Plan, e.Obs, e.Metrics, n)
+	}
 
 	for r := 1; r <= maxRounds; r++ {
 		if observing {
 			e.Obs.Emit(obs.Event{Kind: obs.KindRoundStart, Round: int32(r)})
 		}
+		// Phase 0 (faults only): advance the crash schedule so down nodes
+		// are frozen — not stepped, not sending, not receiving — for the
+		// whole round.
+		var down []bool
+		if fs != nil {
+			fs.beginRound(r)
+			down = fs.down
+		}
 		// Phase 1: coin flips and send/receive commitment.
-		e.step(r, actions, outgoing, workers)
+		e.step(r, actions, outgoing, workers, down)
 		roundSenders, roundBits := 0, 0
 		for v := 0; v < n; v++ {
 			if actions[v] == Send {
@@ -148,10 +173,19 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		if e.CheckConnectivity && !g.ConnectedInto(dist, queue) {
 			return nil, fmt.Errorf("dynet: adversary returned disconnected topology in round %d", r)
 		}
+		if fs != nil && fs.edgeFaults {
+			// The adversary met its connectivity obligation above; the
+			// fault layer may now legitimately disconnect the round.
+			g = fs.perturb(r, g)
+		}
 
 		// Phase 3: delivery to receiving nodes.
-		collect(g, actions, outgoing, inboxes)
-		e.deliver(r, actions, inboxes, workers)
+		if fs != nil && (fs.deliveryFaults || fs.nodeFaults) {
+			fs.collect(r, g, actions, outgoing, inboxes)
+		} else {
+			collect(g, actions, outgoing, inboxes)
+		}
+		e.deliver(r, actions, inboxes, workers, down)
 
 		if e.Trace != nil {
 			e.Trace.record(r, g, actions, outgoing)
@@ -225,16 +259,28 @@ func NodeDecided(v int) func([]Machine) bool {
 	}
 }
 
-func (e *Engine) step(r int, actions []Action, outgoing []Message, workers int) {
+// step runs the commitment phase. down, when non-nil, marks crashed
+// nodes: their machines are not stepped (a crash freezes state) and they
+// commit to a silent Receive so the adversary and the accounting see no
+// send from them.
+func (e *Engine) step(r int, actions []Action, outgoing []Message, workers int, down []bool) {
 	n := len(e.Machines)
 	if workers <= 1 {
 		for v := 0; v < n; v++ {
+			if down != nil && down[v] {
+				actions[v], outgoing[v] = Receive, Message{}
+				continue
+			}
 			actions[v], outgoing[v] = e.Machines[v].Step(r)
 			outgoing[v].From = v
 		}
 		return
 	}
 	parallelFor(n, workers, func(v int) {
+		if down != nil && down[v] {
+			actions[v], outgoing[v] = Receive, Message{}
+			return
+		}
 		actions[v], outgoing[v] = e.Machines[v].Step(r)
 		outgoing[v].From = v
 	})
@@ -277,18 +323,20 @@ func sortByFrom(msgs []Message) {
 	}
 }
 
-func (e *Engine) deliver(r int, actions []Action, inboxes [][]Message, workers int) {
+// deliver hands each receiving node its inbox. down, when non-nil, marks
+// crashed nodes, which are skipped: a crashed node hears nothing.
+func (e *Engine) deliver(r int, actions []Action, inboxes [][]Message, workers int, down []bool) {
 	n := len(e.Machines)
 	if workers <= 1 {
 		for v := 0; v < n; v++ {
-			if actions[v] == Receive {
+			if actions[v] == Receive && !(down != nil && down[v]) {
 				e.Machines[v].Deliver(r, inboxes[v])
 			}
 		}
 		return
 	}
 	parallelFor(n, workers, func(v int) {
-		if actions[v] == Receive {
+		if actions[v] == Receive && !(down != nil && down[v]) {
 			e.Machines[v].Deliver(r, inboxes[v])
 		}
 	})

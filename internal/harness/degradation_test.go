@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"dyndiam/internal/faults"
+)
+
+// TestLeaderDegradationZeroRowMatchesReliability pins the chaos gate's
+// anchor: the zero-Spec degradation row runs the exact clean path, so its
+// error count and round distribution reproduce LeaderReliability.
+func TestLeaderDegradationZeroRowMatchesReliability(t *testing.T) {
+	const n, diam, trials = 16, 4, 4
+	rel, err := LeaderReliability(n, diam, trials, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := LeaderDegradation(DegradationConfig{
+		N: n, TargetDiam: diam, Trials: trials, Seed: 1,
+		Specs: []faults.Spec{{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.Label != "none" || len(row.CellFailures) != 0 {
+		t.Fatalf("zero row: %+v", row)
+	}
+	if row.Errors != rel.Errors || row.Trials != rel.Trials {
+		t.Errorf("errors %d/%d, reliability %d/%d", row.Errors, row.Trials, rel.Errors, rel.Trials)
+	}
+	if !reflect.DeepEqual(row.Rounds, rel.Rounds) {
+		t.Errorf("rounds %+v, reliability %+v", row.Rounds, rel.Rounds)
+	}
+}
+
+// TestDegradationParallelEqualsSequential: degradation tables are pure
+// functions of the config — identical at every SweepWorkers setting, even
+// with faults injected.
+func TestDegradationParallelEqualsSequential(t *testing.T) {
+	cfg := DegradationConfig{
+		N: 12, TargetDiam: 3, Trials: 3, Seed: 7,
+		Specs: []faults.Spec{{}, {Drop: 0.3}, {Crash: 0.05}},
+	}
+	run := func(workers int) []DegradationRow {
+		prev := SetSweepWorkers(workers)
+		defer SetSweepWorkers(prev)
+		rows, err := LeaderDegradation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Error values are not comparable across runs; compare outcomes.
+		for i := range rows {
+			for j := range rows[i].CellFailures {
+				rows[i].CellFailures[j].Err = nil
+			}
+		}
+		return rows
+	}
+	if seq, par := run(1), run(8); !reflect.DeepEqual(seq, par) {
+		t.Errorf("degradation rows differ across worker counts:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+// TestCFloodDegradationShape: the flooding sweep produces one row per
+// Spec, a clean zero row, and degradation under total message loss.
+func TestCFloodDegradationShape(t *testing.T) {
+	rows, err := CFloodDegradation(DegradationConfig{
+		N: 10, TargetDiam: 3, Trials: 3, Seed: 5,
+		Specs: []faults.Spec{{}, {Drop: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Errors != 0 {
+		t.Errorf("clean cflood row errored: %+v", rows[0])
+	}
+	if rows[1].Errors != rows[1].Trials {
+		t.Errorf("Drop=1 cflood row should fail every trial: %+v", rows[1])
+	}
+	for i, r := range rows {
+		if r.WilsonLo < 0 || r.WilsonHi > 1 || r.WilsonLo > r.WilsonHi {
+			t.Errorf("row %d: Wilson interval [%v,%v]", i, r.WilsonLo, r.WilsonHi)
+		}
+		if r.ErrorRate < r.WilsonLo-1e-9 || r.ErrorRate > r.WilsonHi+1e-9 {
+			t.Errorf("row %d: rate %v outside its interval [%v,%v]", i, r.ErrorRate, r.WilsonLo, r.WilsonHi)
+		}
+	}
+}
+
+// TestDegradationRejectsBadConfig: malformed Specs and empty grids abort
+// the sweep up front instead of failing every cell.
+func TestDegradationRejectsBadConfig(t *testing.T) {
+	bad := []DegradationConfig{
+		{N: 8, TargetDiam: 2, Trials: 0, Specs: []faults.Spec{{}}},
+		{N: 8, TargetDiam: 2, Trials: 2},
+		{N: 8, TargetDiam: 2, Trials: 2, Specs: []faults.Spec{{Drop: -1}}},
+	}
+	for i, cfg := range bad {
+		if _, err := LeaderDegradation(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestFaultTrialSeedStable pins the replay contract: the published seed
+// derivation must never change, or EXPERIMENTS.md replay recipes break.
+func TestFaultTrialSeedStable(t *testing.T) {
+	a := FaultTrialSeed(1, 0, 0)
+	if b := FaultTrialSeed(1, 0, 0); a != b {
+		t.Fatal("not deterministic")
+	}
+	seen := map[uint64]bool{a: true}
+	for row := 0; row < 3; row++ {
+		for trial := 0; trial < 3; trial++ {
+			if row == 0 && trial == 0 {
+				continue
+			}
+			s := FaultTrialSeed(1, row, trial)
+			if seen[s] {
+				t.Errorf("seed collision at row %d trial %d", row, trial)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestFormatDegradationTable smoke-renders the table.
+func TestFormatDegradationTable(t *testing.T) {
+	rows, err := LeaderDegradation(DegradationConfig{
+		N: 10, TargetDiam: 3, Trials: 2, Seed: 1,
+		Specs: []faults.Spec{{}, {Drop: 0.2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := FormatDegradationTable("leader", rows)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+}

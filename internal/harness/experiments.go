@@ -168,12 +168,13 @@ func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille in
 		inputs := make([]int64, n)
 		ms := dynet.NewMachines(leader.Protocol{}, n, inputs, seed^uint64(3*n), extra)
 		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1, Metrics: reg}
-		res, err := e.Run(50000000)
+		budget := RoundBudget()
+		res, err := e.Run(budget)
 		if err != nil {
 			return err
 		}
 		if !res.Done {
-			return fmt.Errorf("harness: leader election did not terminate for N=%d", n)
+			return NonTermination{Name: fmt.Sprintf("leaderelect N=%d", n), Cell: i, Budget: budget}
 		}
 		correct := true
 		for _, out := range res.Outputs {
@@ -387,9 +388,12 @@ func ConsensusGap(sizes []int, targetDiam int, seed uint64) ([]ConsensusGapRow, 
 				Workers:  1,
 				Metrics:  reg,
 			}
-			res, err := e.Run(50000000)
-			if err != nil || !res.Done {
-				return 0, false, fmt.Errorf("harness: consensus did not finish: %v", err)
+			res, err := e.Run(RoundBudget())
+			if err != nil {
+				return 0, false, fmt.Errorf("harness: consensus failed: %v", err)
+			}
+			if !res.Done {
+				return 0, false, NonTermination{Name: fmt.Sprintf("consensus N=%d", n), Cell: i, Budget: RoundBudget()}
 			}
 			ok := true
 			for _, out := range res.Outputs {

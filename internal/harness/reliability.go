@@ -18,6 +18,13 @@ type Reliability struct {
 	Rounds    stats.Summary // termination-round distribution
 }
 
+// ReliabilityTrialSeed is the public-coin and adversary seed of
+// reliability trial t. It is shared with the degradation sweeps so their
+// zero-fault rows reproduce the clean reliability runs bit for bit.
+func ReliabilityTrialSeed(trial int) uint64 {
+	return uint64(trial)*2654435761 + 1
+}
+
 // LeaderReliability runs the Section 7 leader election across trials
 // independent public-coin seeds on a fresh low-diameter dynamic network
 // each time, and reports the empirical error rate (Theorem 8 promises
@@ -26,17 +33,18 @@ func LeaderReliability(n, targetDiam, trials int, extra map[string]int64) (Relia
 	rel := Reliability{Trials: trials}
 	rounds := make([]float64, trials)
 	failed := make([]bool, trials)
+	budget := RoundBudget()
 	err := forEachCell(trials, func(trial int, reg *obs.Registry) error {
-		seed := uint64(trial)*2654435761 + 1
+		seed := ReliabilityTrialSeed(trial)
 		adv := adversaries.BoundedDiameter(n, targetDiam, n/2, seed)
 		ms := dynet.NewMachines(leader.Protocol{}, n, make([]int64, n), seed, extra)
 		e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1, Metrics: reg}
-		res, err := e.Run(50000000)
+		res, err := e.Run(budget)
 		if err != nil {
 			return err
 		}
 		if !res.Done {
-			return fmt.Errorf("harness: trial %d did not terminate", trial)
+			return NonTermination{Name: "leader reliability", Cell: trial, Budget: budget}
 		}
 		for _, out := range res.Outputs {
 			if out != int64(n-1) {
@@ -88,12 +96,13 @@ func LeaderPhases(n, targetDiam int, seed uint64, extra map[string]int64) (Phase
 	}
 	ms := dynet.NewMachines(leader.Protocol{}, n, make([]int64, n), seed, extra)
 	e := &dynet.Engine{Machines: ms, Adv: adv, Workers: 1}
-	res, err := e.Run(50000000)
+	budget := RoundBudget()
+	res, err := e.Run(budget)
 	if err != nil {
 		return PhaseBreakdown{}, err
 	}
 	if !res.Done {
-		return PhaseBreakdown{}, fmt.Errorf("harness: election did not terminate")
+		return PhaseBreakdown{}, NonTermination{Name: "leader phases", Budget: budget}
 	}
 	pb := PhaseBreakdown{N: n, D: d, Rounds: res.Rounds}
 	for v, m := range ms {

@@ -29,6 +29,10 @@ var Determinism = &Analyzer{
 			// function of (sweep seed, cell params) so tables are identical
 			// at any worker count; ambient randomness would break that.
 			"internal/harness",
+			// Fault plans are replay contracts: every injected fault is a
+			// pure function of (seed, round, node, edge), so a single faulty
+			// trial can be re-run in isolation (cmd/chaos -replay).
+			"internal/faults",
 		)
 	},
 	Run: runDeterminism,

@@ -1,0 +1,44 @@
+package lint
+
+import "go/ast"
+
+// FaultsDeterminism enforces the stricter determinism contract of the
+// fault-injection layer (internal/faults), mirroring obsdeterminism for
+// internal/obs. A fault plan is a replay contract: the chaos grid
+// publishes per-trial seeds so any faulty trial can be re-run in
+// isolation (cmd/chaos -replay, EXPERIMENTS.md), which only works if
+// every drop/dup/corrupt/crash/cut decision is a pure function of
+// (seed, round, node, edge). The general maporder rule only forbids map
+// iteration whose order leaks into results; inside internal/faults even
+// order-independent iteration is banned, because the plan memoizes
+// per-node outage schedules in maps and an iteration over one is a
+// refactor away from making fault schedules depend on query order
+// (Plan.Down answers from binary search over sorted slices for exactly
+// this reason). Wall-clock reads are banned outright — rounds are the
+// layer's only clock.
+var FaultsDeterminism = &Analyzer{
+	Name: "faultsdeterminism",
+	Doc: "forbid any map iteration and wall-clock reads in internal/faults: " +
+		"fault schedules must be pure functions of (seed, round, node, edge) so faulty trials replay bit-identically",
+	Scope: func(path string) bool { return underAny(path, "internal/faults") },
+	Run:   runFaultsDeterminism,
+}
+
+func runFaultsDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if p.isMapRange(n) {
+					p.Reportf(n.Pos(), "map iteration in the fault-injection layer: schedules must come from sorted slices and seeded draws, never map order")
+				}
+			case *ast.SelectorExpr:
+				if p.pkgIdentOrName(file, n.X) == "time" && bannedClockCalls[n.Sel.Name] {
+					p.Reportf(n.Pos(), "time.%s in the fault-injection layer: rounds are the only clock; wall-clock reads make fault schedules unreplayable", n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -176,6 +176,7 @@ func DefaultAnalyzers() []*Analyzer {
 		Determinism,
 		MapOrder,
 		ObsDeterminism,
+		FaultsDeterminism,
 		CongestSend,
 		PanicFree,
 		PrintClean,

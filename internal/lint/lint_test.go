@@ -79,6 +79,7 @@ func TestAnalyzers(t *testing.T) {
 		{Determinism, "determinism"},
 		{MapOrder, "maporder"},
 		{ObsDeterminism, "obsdeterminism"},
+		{FaultsDeterminism, "faultsdeterminism"},
 		{CongestSend, "congestsend"},
 		{PanicFree, "panicfree"},
 		{PrintClean, "printclean"},
@@ -107,11 +108,13 @@ func TestAnalyzers(t *testing.T) {
 // bypassed, as this test does.
 func TestRuleExclusivity(t *testing.T) {
 	all := DefaultAnalyzers()
-	corpora := []string{"determinism", "maporder", "obsdeterminism", "congestsend", "panicfree", "printclean"}
+	corpora := []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "congestsend", "panicfree", "printclean"}
 	intendedOverlap := map[string]map[string]bool{
-		"determinism":    {"obsdeterminism": true}, // both ban the wall clock
-		"maporder":       {"obsdeterminism": true}, // every maporder range is also a map range
-		"obsdeterminism": {"determinism": true},    // the corpus's time.Now is also a determinism hit
+		"determinism": {"obsdeterminism": true, "faultsdeterminism": true}, // all three ban the wall clock
+		// Every maporder range is also a map range under the strict rules.
+		"maporder":          {"obsdeterminism": true, "faultsdeterminism": true},
+		"obsdeterminism":    {"determinism": true, "faultsdeterminism": true}, // time.Now + map ranges co-fire
+		"faultsdeterminism": {"determinism": true, "obsdeterminism": true},    // same strict-superset pattern
 	}
 	for _, corpus := range corpora {
 		pkg := loadCorpus(t, corpus)
@@ -166,6 +169,12 @@ func TestScopes(t *testing.T) {
 		{"obsdeterminism", "dyndiam/internal/obs", true},
 		{"obsdeterminism", "dyndiam/internal/dynet", false},
 		{"obsdeterminism", "dyndiam/internal/harness", false},
+		// Fault plans are replay contracts: the general determinism rule
+		// and the strict faults rule both cover internal/faults.
+		{"determinism", "dyndiam/internal/faults", true},
+		{"faultsdeterminism", "dyndiam/internal/faults", true},
+		{"faultsdeterminism", "dyndiam/internal/dynet", false},
+		{"faultsdeterminism", "dyndiam/internal/obs", false},
 		{"congestsend", "dyndiam/internal/protocols/leader", true},
 		{"congestsend", "dyndiam/internal/dynet", false},
 		{"panicfree", "dyndiam/internal/graph", true},

@@ -1,0 +1,42 @@
+// Package faultsdeterminism is a lint fixture for the faultsdeterminism
+// analyzer. Every map iteration below is order-independent in the
+// maporder sense — nothing leaks iteration order into a result — so the
+// general rule stays silent; the fault-injection layer bans them anyway.
+package faultsdeterminism
+
+import "time"
+
+type outage struct{ from, until int }
+
+type plan struct {
+	schedules map[int][]outage
+	order     []int
+}
+
+// CountDown sums scheduled down-rounds commutatively. Order-independent,
+// so maporder is silent — but a plan walking a map is one refactor away
+// from letting query order shape a fault schedule.
+func CountDown(p *plan) int {
+	total := 0
+	for _, ws := range p.schedules { // want:faultsdeterminism
+		for _, w := range ws {
+			total += w.until - w.from + 1
+		}
+	}
+	return total
+}
+
+// Freeze marks every scheduled node down. The map iteration accumulates
+// through a method-like append, which maporder does not track; the
+// freeze order is still randomized map order.
+func Freeze(p *plan, down []bool) {
+	for node := range p.schedules { // want:faultsdeterminism
+		down[node] = true
+	}
+}
+
+// Expire times out an outage window against the wall clock instead of a
+// round counter.
+func Expire(w outage) bool {
+	return int(time.Now().Unix()) > w.until // want:faultsdeterminism
+}

@@ -1,0 +1,23 @@
+package faultsdeterminism
+
+// Schedules walks the insertion-order slice and consults the map only
+// for keyed lookups — the pattern the fault layer uses in place of map
+// iteration.
+func Schedules(p *plan) []outage {
+	var out []outage
+	for _, node := range p.order {
+		out = append(out, p.schedules[node]...)
+	}
+	return out
+}
+
+// DownAt answers from the sorted windows of one node — rounds, the
+// simulation's own clock, never the wall clock.
+func DownAt(p *plan, r, node int) bool {
+	for _, w := range p.schedules[node] {
+		if r >= w.from && r <= w.until {
+			return true
+		}
+	}
+	return false
+}

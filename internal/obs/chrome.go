@@ -87,7 +87,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 
 	for _, ev := range events {
 		switch ev.Kind {
-		case KindDecide, KindLockAcquire, KindLockRollback, KindSpoilMark, KindCustom:
+		case KindDecide, KindLockAcquire, KindLockRollback, KindSpoilMark, KindFault, KindCustom:
 			name := ev.Name.String()
 			if name == "" {
 				name = ev.Kind.String()

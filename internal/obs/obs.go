@@ -51,6 +51,13 @@ const (
 	// KindSpoilMark records the round from whose beginning Node is
 	// spoiled for the party identified by Track (Lemmas 3-4).
 	KindSpoilMark
+	// KindFault records one injected fault (internal/faults); Name is
+	// the fault name ("drop", "dup", "corrupt", "crash", "rejoin",
+	// "edge_cut"), Node the affected node (the receiver for delivery
+	// faults, the crashed node, or the lower edge endpoint), A the peer
+	// (sender id or upper endpoint; -1 when unused), and B the detail
+	// (the flipped bit index for "corrupt"; 0 otherwise).
+	KindFault
 	// KindCustom is a protocol-defined event named by Name.
 	KindCustom
 
@@ -66,6 +73,7 @@ var kindNames = [numKinds]string{
 	"lock_acquire",
 	"lock_rollback",
 	"spoil_mark",
+	"fault",
 	"custom",
 }
 

@@ -78,6 +78,32 @@ func (s Summary) String() string {
 	return fmt.Sprintf("%.2f±%.2f [%.2f,%.2f] (n=%d)", s.Mean, s.Std, s.Min, s.Max, s.N)
 }
 
+// Wilson returns the Wilson score confidence interval for the success
+// probability after k successes in n Bernoulli trials, at normal quantile
+// z (z = 1.96 for 95%). Unlike the normal approximation it stays inside
+// [0, 1] and behaves sensibly at k = 0 and k = n — exactly the regimes a
+// degradation sweep cares about (zero observed errors still yields a
+// non-trivial upper bound). n <= 0 returns the vacuous (0, 1).
+func Wilson(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Repeat evaluates f over seeds 0..times-1 and summarizes the results.
 // Errors abort the repetition.
 func Repeat(times int, f func(seed uint64) (float64, error)) (Summary, error) {

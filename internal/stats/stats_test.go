@@ -127,6 +127,43 @@ func TestRepeat(t *testing.T) {
 	}
 }
 
+func TestWilson(t *testing.T) {
+	if lo, hi := Wilson(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("n=0 interval [%v,%v], want [0,1]", lo, hi)
+	}
+	lo, hi := Wilson(5, 10, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("5/10 interval [%v,%v] does not contain the point estimate", lo, hi)
+	}
+	// More trials at the same rate narrow the interval.
+	if lo2, hi2 := Wilson(50, 100, 1.96); hi2-lo2 >= hi-lo {
+		t.Error("interval did not narrow with more trials")
+	}
+	// Extremes stay clamped to [0,1] and keep a nonempty interval.
+	if lo, hi := Wilson(0, 10, 1.96); lo != 0 || hi <= 0 {
+		t.Errorf("k=0 interval [%v,%v]", lo, hi)
+	}
+	if lo, hi := Wilson(10, 10, 1.96); hi != 1 || lo >= 1 {
+		t.Errorf("k=n interval [%v,%v]", lo, hi)
+	}
+	// Known value: Wilson 95%% for 1/10 is about [0.018, 0.404].
+	lo, hi = Wilson(1, 10, 1.96)
+	if math.Abs(lo-0.0179) > 0.005 || math.Abs(hi-0.4042) > 0.005 {
+		t.Errorf("1/10 interval [%v,%v], want ~[0.018,0.404]", lo, hi)
+	}
+	// Monotone in k for the bounds.
+	f := func(kRaw, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		k := int(kRaw) % n
+		lo1, hi1 := Wilson(k, n, 1.96)
+		lo2, hi2 := Wilson(k+1, n, 1.96)
+		return lo1 <= lo2+1e-12 && hi1 <= hi2+1e-12 && lo1 >= 0 && hi2 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestStringFormat(t *testing.T) {
 	s := Summarize([]float64{1, 3})
 	if got := s.String(); got == "" {
