@@ -29,16 +29,15 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
-	"strings"
 	"time"
 
 	"dyndiam"
+	"dyndiam/internal/cliutil"
 )
 
 type options struct {
@@ -171,24 +170,15 @@ func main() {
 	}
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
+// splitList and specFor delegate to the shared helpers (cliutil, the
+// harness fault vocabulary); parseRates adds the chaos-specific rule
+// that an empty rate list is an error rather than a default.
+func splitList(s string) []string { return cliutil.SplitList(s) }
 
 func parseRates(s string) ([]float64, error) {
-	var out []float64
-	for _, p := range splitList(s) {
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad rate %q: %v", p, err)
-		}
-		out = append(out, v)
+	out, err := cliutil.ParseFloats(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad rate: %v", err)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no fault rates given")
@@ -198,22 +188,7 @@ func parseRates(s string) ([]float64, error) {
 
 // specFor builds the single-dimension fault spec of one grid point.
 func specFor(dim string, rate float64) (dyndiam.FaultSpec, error) {
-	var s dyndiam.FaultSpec
-	switch dim {
-	case "drop":
-		s.Drop = rate
-	case "dup":
-		s.Dup = rate
-	case "corrupt":
-		s.Corrupt = rate
-	case "crash":
-		s.Crash = rate
-	case "edgecut":
-		s.EdgeCut = rate
-	default:
-		return s, fmt.Errorf("unknown fault dimension %q (want drop, dup, corrupt, crash, or edgecut)", dim)
-	}
-	return s, nil
+	return dyndiam.FaultSpecFor(dim, rate)
 }
 
 // gridPoint is one (protocol, dim, rate) cell of the chaos grid. The zero
@@ -256,10 +231,9 @@ func gridPoints(opts options) []gridPoint {
 }
 
 func runPoint(opts options, pt gridPoint) (jsonRow, error) {
+	// The anchor point ("none", rate 0) yields the zero Spec, which the
+	// sweep compiles to no fault plan at all.
 	spec, err := specFor(pt.dim, pt.rate)
-	if pt.dim == "none" {
-		spec, err = dyndiam.FaultSpec{}, nil
-	}
 	if err != nil {
 		return jsonRow{}, err
 	}
@@ -303,15 +277,8 @@ type checkpointFile struct {
 
 func loadCheckpoint(path string) (checkpointFile, error) {
 	cp := checkpointFile{Rows: map[string]jsonRow{}}
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return cp, nil
-	}
-	if err != nil {
+	if _, err := cliutil.LoadJSON(path, &cp); err != nil {
 		return cp, err
-	}
-	if err := json.Unmarshal(data, &cp); err != nil {
-		return cp, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
 	}
 	if cp.Rows == nil {
 		cp.Rows = map[string]jsonRow{}
@@ -320,15 +287,7 @@ func loadCheckpoint(path string) (checkpointFile, error) {
 }
 
 func saveCheckpoint(path string, cp checkpointFile) error {
-	data, err := json.MarshalIndent(cp, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return cliutil.SaveJSON(path, cp)
 }
 
 func runGrid(opts options) error {
@@ -366,11 +325,7 @@ func runGrid(opts options) error {
 	printTables(rep)
 
 	if opts.jsonOut != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(opts.jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := cliutil.SaveJSON(opts.jsonOut, rep); err != nil {
 			return err
 		}
 		fmt.Printf("json report -> %s\n", opts.jsonOut)

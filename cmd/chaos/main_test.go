@@ -56,6 +56,13 @@ func TestSpecFor(t *testing.T) {
 	if _, err := specFor("gamma-rays", 0.1); err == nil {
 		t.Error("unknown dimension accepted")
 	}
+	// The grid's clean anchor: dimension "none" at rate 0 is the zero Spec.
+	if s, err := specFor("none", 0); err != nil || !s.Zero() {
+		t.Errorf("none/0 = (%+v, %v), want zero Spec", s, err)
+	}
+	if _, err := specFor("none", 0.1); err == nil {
+		t.Error("none at a positive rate accepted")
+	}
 }
 
 func TestCheckpointRoundtrip(t *testing.T) {

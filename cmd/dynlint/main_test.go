@@ -70,10 +70,10 @@ func TestRunList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	if got := countLines(stdout.String()); got != 7 {
-		t.Errorf("rule list has %d lines, want 7:\n%s", got, stdout.String())
+	if got := countLines(stdout.String()); got != 8 {
+		t.Errorf("rule list has %d lines, want 8:\n%s", got, stdout.String())
 	}
-	for _, rule := range []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "congestsend", "panicfree", "printclean"} {
+	for _, rule := range []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "servedeterminism", "congestsend", "panicfree", "printclean"} {
 		if !strings.Contains(stdout.String(), rule) {
 			t.Errorf("rule %s missing from -list output", rule)
 		}

@@ -1,0 +1,124 @@
+// Command dynserve serves the repo's experiments over HTTP/JSON as
+// asynchronous jobs with content-addressed result caching.
+//
+//	go run ./cmd/dynserve -addr :8080
+//
+// Submit a job, poll its status, fetch its result:
+//
+//	curl -s -X POST localhost:8080/jobs \
+//	    -d '{"kind":"gap_table","params":{"sizes":[16,32],"seed":1}}'
+//	curl -s localhost:8080/jobs/<key>
+//	curl -s localhost:8080/jobs/<key>/result
+//
+// Identical submissions (same kind and normalized params) deduplicate
+// onto one cache entry and cost one harness execution; a full job queue
+// answers 429 with a Retry-After hint. /metrics exposes the request,
+// cache, queue, and latency counters as Prometheus text.
+//
+// -job-budget bounds each job's wall clock (a hung job degrades to a
+// recorded error) and -round-budget caps harness rounds per run.
+// -checkpoint FILE saves completed results on shutdown (SIGINT/SIGTERM);
+// with -resume, results already recorded there are preloaded so a
+// restarted service answers known keys from cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyndiam"
+	"dyndiam/internal/cliutil"
+)
+
+// options are the parsed flag values; split out so tests can exercise
+// parsing without starting a listener.
+type options struct {
+	addr        string
+	workers     int
+	queueCap    int
+	jobBudget   time.Duration
+	roundBudget int
+	checkpoint  string
+	resume      bool
+}
+
+// parseOptions binds the flag set and parses args into options.
+func parseOptions(fs *flag.FlagSet, args []string) (options, error) {
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.workers, "workers", 2, "concurrent experiment jobs")
+	fs.IntVar(&o.queueCap, "queue", 32, "job queue bound; a full queue answers 429")
+	fs.DurationVar(&o.jobBudget, "job-budget", 2*time.Minute, "per-job wall-clock budget (0 = unlimited)")
+	fs.IntVar(&o.roundBudget, "round-budget", 0, "harness round budget per run (0 = keep default)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "save completed results to this file on shutdown")
+	fs.BoolVar(&o.resume, "resume", false, "preload results recorded in the -checkpoint file")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.resume && o.checkpoint == "" {
+		return o, fmt.Errorf("-resume requires -checkpoint FILE")
+	}
+	return o, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dynserve: ")
+
+	opts, err := parseOptions(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	if opts.roundBudget > 0 {
+		dyndiam.SetRoundBudget(opts.roundBudget)
+	}
+
+	srv := dyndiam.NewExperimentServer(dyndiam.ServeConfig{
+		Workers:   opts.workers,
+		QueueCap:  opts.queueCap,
+		JobBudget: opts.jobBudget,
+	})
+	if opts.resume && opts.checkpoint != "" {
+		var saved []dyndiam.ServeCachedResult
+		found, err := cliutil.LoadJSON(opts.checkpoint, &saved)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if found {
+			log.Printf("resumed %d cached results from %s", srv.Preload(saved), opts.checkpoint)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: opts.addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	log.Printf("serving experiments on %s (workers=%d queue=%d)", opts.addr, opts.workers, opts.queueCap)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("received %v; shutting down", s)
+	}
+	_ = httpSrv.Close()
+	srv.Close()
+	if opts.checkpoint != "" {
+		results := srv.CachedResults()
+		if err := cliutil.SaveJSON(opts.checkpoint, results); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved %d cached results to %s", len(results), opts.checkpoint)
+	}
+}

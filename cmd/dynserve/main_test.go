@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, args ...string) (options, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("dynserve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return parseOptions(fs, args)
+}
+
+func TestParseOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want options
+	}{
+		{
+			name: "defaults",
+			want: options{addr: ":8080", workers: 2, queueCap: 32, jobBudget: 2 * time.Minute},
+		},
+		{
+			name: "all flags",
+			args: []string{
+				"-addr", "127.0.0.1:9999", "-workers", "8", "-queue", "4",
+				"-job-budget", "30s", "-round-budget", "50000",
+				"-checkpoint", "state.json", "-resume",
+			},
+			want: options{
+				addr: "127.0.0.1:9999", workers: 8, queueCap: 4,
+				jobBudget: 30 * time.Second, roundBudget: 50000,
+				checkpoint: "state.json", resume: true,
+			},
+		},
+		{
+			name: "unlimited job budget",
+			args: []string{"-job-budget", "0"},
+			want: options{addr: ":8080", workers: 2, queueCap: 32},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parse(t, tc.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("options = %+v want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseOptionsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "zebra"},
+		{"-job-budget", "banana"},
+		{"-no-such-flag"},
+		// -resume is a bool: a trailing file name is a usage error, not a
+		// silently ignored positional (the easy way to resume nothing).
+		{"-resume", "state.json"},
+		{"-resume"},
+	} {
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("%v: accepted", args)
+		}
+	}
+}

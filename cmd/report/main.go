@@ -21,7 +21,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +29,7 @@ import (
 	"time"
 
 	"dyndiam"
+	"dyndiam/internal/cliutil"
 )
 
 func main() {
@@ -232,16 +232,9 @@ type reportCheckpoint struct {
 
 func loadCheckpoint(path string) (map[string]bool, error) {
 	done := map[string]bool{}
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return done, nil
-	}
-	if err != nil {
-		return nil, err
-	}
 	var cp reportCheckpoint
-	if err := json.Unmarshal(data, &cp); err != nil {
-		return nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
+	if _, err := cliutil.LoadJSON(path, &cp); err != nil {
+		return nil, err
 	}
 	for _, name := range cp.Done {
 		done[name] = true
@@ -258,15 +251,7 @@ func saveCheckpoint(path string, stepNames []string, done map[string]bool) error
 			cp.Done = append(cp.Done, name)
 		}
 	}
-	data, err := json.MarshalIndent(cp, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return cliutil.SaveJSON(path, cp)
 }
 
 func stepOutputsExist(dir, name string) bool {

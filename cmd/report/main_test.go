@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyndiam"
+)
+
+func TestCheckpointRoundtripKeepsStepOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.ckpt")
+	stepNames := []string{"e4_gap", "e1_thm6_reduction", "e3_thm8_leader"}
+	// done in a different order than the steps ran; the file must follow
+	// stepNames order regardless.
+	done := map[string]bool{"e3_thm8_leader": true, "e4_gap": true}
+	if err := saveCheckpoint(path, stepNames, done); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, j := strings.Index(string(data), "e4_gap"), strings.Index(string(data), "e3_thm8_leader"); i < 0 || j < 0 || i > j {
+		t.Errorf("checkpoint not in step order:\n%s", data)
+	}
+	got, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, done) {
+		t.Errorf("roundtrip = %v want %v", got, done)
+	}
+}
+
+func TestLoadCheckpointMissingAndCorrupt(t *testing.T) {
+	done, err := loadCheckpoint(filepath.Join(t.TempDir(), "missing"))
+	if err != nil || len(done) != 0 || done == nil {
+		t.Errorf("missing checkpoint = (%v, %v), want empty usable map", done, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(bad); err == nil {
+		t.Error("corrupt checkpoint loaded")
+	}
+}
+
+func TestStepOutputsExist(t *testing.T) {
+	dir := t.TempDir()
+	if stepOutputsExist(dir, "e4_gap") {
+		t.Error("missing outputs reported present")
+	}
+	tbl := &dyndiam.ResultTable{Caption: "t", Header: []string{"a"}}
+	tbl.Add(1)
+	if err := writeTable(dir, "e4_gap", tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !stepOutputsExist(dir, "e4_gap") {
+		t.Error("written outputs reported missing")
+	}
+	// Both files must exist: deleting one invalidates the step.
+	if err := os.Remove(filepath.Join(dir, "e4_gap.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if stepOutputsExist(dir, "e4_gap") {
+		t.Error("half-deleted outputs reported present")
+	}
+}

@@ -54,6 +54,16 @@
 // ErrCellPanic, ErrCellTimeout); cmd/chaos drives the grid. See
 // internal/faults and "Robustness & fault injection" in README.md.
 //
+// The experiments also run as a service: NewExperimentServer (driven by
+// cmd/dynserve) exposes reliability runs, degradation grids, gap
+// tables, the reduction, and the figures as asynchronous HTTP/JSON
+// jobs. Results are content-addressed — the job key is the hash of the
+// kind and canonical normalized params (CanonicalJobKey), which the
+// experiments' determinism makes sound — so identical submissions
+// singleflight onto one execution, a full queue answers 429 instead of
+// blocking, and a checkpointed cache survives restarts byte-identically.
+// See internal/serve and "Serving experiments" in README.md.
+//
 // Model invariants that are code discipline rather than runtime checks
 // (determinism, CONGEST bit accounting, print hygiene, observability and
 // fault-schedule determinism) are enforced statically by cmd/dynlint; see

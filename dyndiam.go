@@ -18,6 +18,7 @@ import (
 	"dyndiam/internal/protocols/hearfrom"
 	"dyndiam/internal/protocols/leader"
 	"dyndiam/internal/rng"
+	"dyndiam/internal/serve"
 	"dyndiam/internal/subnet"
 	"dyndiam/internal/twoparty"
 )
@@ -475,4 +476,52 @@ func WriteMetricsText(w io.Writer, r *MetricsRegistry) error { return obs.WriteM
 var (
 	EnableSweepMetrics = harness.EnableSweepMetrics
 	TakeSweepMetrics   = harness.TakeSweepMetrics
+)
+
+// --- Experiment serving (package serve) ---
+
+// Serving-layer types: see internal/serve for the content-addressing and
+// singleflight contracts.
+type (
+	// ExperimentServer schedules experiment jobs over a content-addressed
+	// result cache behind an HTTP/JSON API (cmd/dynserve hosts one).
+	ExperimentServer = serve.Server
+	// ServeConfig tunes an ExperimentServer (workers, queue bound, job
+	// budget, backpressure hint, executor override).
+	ServeConfig = serve.Config
+	// ServeKind names one servable experiment kind.
+	ServeKind = serve.Kind
+	// ServeParams is the flat, canonically hashable parameter set.
+	ServeParams = serve.Params
+	// ServeJobView is a job's externally visible snapshot.
+	ServeJobView = serve.JobView
+	// ServeCachedResult is the checkpoint shape of one completed job.
+	ServeCachedResult = serve.CachedResult
+)
+
+// Servable experiment kinds.
+const (
+	ServeLeaderReliability = serve.KindLeaderReliability
+	ServeLeaderDegradation = serve.KindLeaderDegradation
+	ServeCFloodDegradation = serve.KindCFloodDegradation
+	ServeGapTable          = serve.KindGapTable
+	ServeReduction         = serve.KindReduction
+	ServeFigure            = serve.KindFigure
+)
+
+// Serving-layer entry points and the job-shaped harness helpers they
+// build on (shared with cmd/chaos).
+var (
+	// NewExperimentServer builds a server and starts its worker pool.
+	NewExperimentServer = serve.New
+	// ServeKinds lists every servable kind in a stable order.
+	ServeKinds = serve.Kinds
+	// CanonicalJobKey content-addresses one (kind, params) job.
+	CanonicalJobKey = harness.CanonicalJobKey
+	// FaultDims lists the single-dimension fault axes of the degradation
+	// sweeps; FaultSpecFor builds the Spec of one (dimension, rate) point.
+	FaultDims    = harness.FaultDims
+	FaultSpecFor = harness.FaultSpecFor
+	// DegradationRowsJSON converts sweep rows to their canonical JSON shape.
+	DegradationRowsJSON = harness.DegradationRowsJSON
 )

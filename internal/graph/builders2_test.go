@@ -8,6 +8,7 @@ import (
 )
 
 func TestGrid(t *testing.T) {
+	t.Parallel()
 	g := Grid(3, 4)
 	if g.N() != 12 {
 		t.Fatalf("N = %d", g.N())
@@ -28,6 +29,7 @@ func TestGrid(t *testing.T) {
 }
 
 func TestHypercube(t *testing.T) {
+	t.Parallel()
 	for dim := 1; dim <= 6; dim++ {
 		g := Hypercube(dim)
 		n := 1 << uint(dim)
@@ -49,6 +51,7 @@ func TestHypercube(t *testing.T) {
 }
 
 func TestRandomRegularishProperties(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, nRaw, dRaw uint8) bool {
 		n := int(nRaw%100) + 4
 		d := 2*(int(dRaw%4)+1) + 2 // 4, 6, 8, 10
@@ -69,6 +72,7 @@ func TestRandomRegularishProperties(t *testing.T) {
 }
 
 func TestRandomRegularishLowDiameter(t *testing.T) {
+	t.Parallel()
 	g := RandomRegularish(512, 8, rng.New(3))
 	if d := g.StaticDiameter(); d > 8 {
 		t.Errorf("512-node 8-regular-ish diameter %d > 8 (expander-like expected)", d)
@@ -76,6 +80,7 @@ func TestRandomRegularishLowDiameter(t *testing.T) {
 }
 
 func TestBarbell(t *testing.T) {
+	t.Parallel()
 	g := Barbell(5, 3)
 	if g.N() != 13 {
 		t.Fatalf("N = %d", g.N())
@@ -90,6 +95,7 @@ func TestBarbell(t *testing.T) {
 }
 
 func TestBarbellNoPath(t *testing.T) {
+	t.Parallel()
 	g := Barbell(4, 0)
 	if !g.Connected() {
 		t.Fatal("disconnected")

@@ -9,6 +9,7 @@ import (
 )
 
 func TestAddRemoveHasEdge(t *testing.T) {
+	t.Parallel()
 	g := New(4)
 	g.AddEdge(0, 1)
 	g.AddEdge(1, 2)
@@ -36,6 +37,7 @@ func TestAddRemoveHasEdge(t *testing.T) {
 }
 
 func TestSelfLoopPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("AddEdge(2,2) did not panic")
@@ -45,6 +47,7 @@ func TestSelfLoopPanics(t *testing.T) {
 }
 
 func TestOutOfRangePanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("AddEdge out of range did not panic")
@@ -54,6 +57,7 @@ func TestOutOfRangePanics(t *testing.T) {
 }
 
 func TestNeighborsAndDegree(t *testing.T) {
+	t.Parallel()
 	g := Star(5)
 	if g.Degree(0) != 4 {
 		t.Errorf("center degree = %d, want 4", g.Degree(0))
@@ -77,6 +81,7 @@ func TestNeighborsAndDegree(t *testing.T) {
 }
 
 func TestBFSOnLine(t *testing.T) {
+	t.Parallel()
 	g := Line(6)
 	dist := g.BFS(0)
 	for i, d := range dist {
@@ -87,6 +92,7 @@ func TestBFSOnLine(t *testing.T) {
 }
 
 func TestBFSUnreachable(t *testing.T) {
+	t.Parallel()
 	g := New(4)
 	g.AddEdge(0, 1)
 	dist := g.BFS(0)
@@ -96,6 +102,7 @@ func TestBFSUnreachable(t *testing.T) {
 }
 
 func TestConnected(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		g    *Graph
 		want bool
@@ -121,6 +128,7 @@ func TestConnected(t *testing.T) {
 }
 
 func TestConnectedOver(t *testing.T) {
+	t.Parallel()
 	g := Line(6)
 	g.RemoveEdge(2, 3)
 	if !g.ConnectedOver([]int{0, 1, 2}) {
@@ -135,6 +143,7 @@ func TestConnectedOver(t *testing.T) {
 }
 
 func TestDiameters(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		g    *Graph
 		want int
@@ -157,6 +166,7 @@ func TestDiameters(t *testing.T) {
 }
 
 func TestUnion(t *testing.T) {
+	t.Parallel()
 	a := Line(4)
 	b := New(6)
 	b.AddEdge(3, 5)
@@ -173,6 +183,7 @@ func TestUnion(t *testing.T) {
 }
 
 func TestCloneIsDeep(t *testing.T) {
+	t.Parallel()
 	g := Ring(5)
 	c := g.Clone()
 	c.RemoveEdge(0, 1)
@@ -186,6 +197,7 @@ func TestCloneIsDeep(t *testing.T) {
 }
 
 func TestRandomConnectedProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, nRaw, extraRaw uint8) bool {
 		n := int(nRaw%200) + 2
 		extra := int(extraRaw % 50)
@@ -198,6 +210,7 @@ func TestRandomConnectedProperty(t *testing.T) {
 }
 
 func TestBoundedDiameterRandom(t *testing.T) {
+	t.Parallel()
 	src := rng.New(11)
 	for _, n := range []int{10, 100, 500} {
 		for _, d := range []int{2, 4, 8} {
@@ -213,6 +226,7 @@ func TestBoundedDiameterRandom(t *testing.T) {
 }
 
 func TestEdgesMatchesHasEdge(t *testing.T) {
+	t.Parallel()
 	g := RandomConnected(30, 20, rng.New(3))
 	edges := g.Edges()
 	if len(edges) != g.M() {

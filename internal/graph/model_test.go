@@ -140,6 +140,7 @@ func checkAgainstModel(t *testing.T, g *Graph, m *modelGraph) {
 // random operation sequence — adds, removes, resets, arena copies, clones —
 // and checks full observable equivalence after every step.
 func TestGraphMatchesMapModel(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw%40) + 2
 		src := rng.New(seed)
@@ -183,6 +184,7 @@ func TestGraphMatchesMapModel(t *testing.T) {
 // mutating the copy must never disturb the source or sibling vertices whose
 // lists share the arena.
 func TestCopyFromIsolation(t *testing.T) {
+	t.Parallel()
 	src := RandomConnected(24, 30, rng.New(7))
 	dst := New(24)
 	dst.CopyFrom(src)
@@ -209,6 +211,7 @@ func TestCopyFromIsolation(t *testing.T) {
 // destination's arena has grown to fit, repeated CopyFrom calls allocate
 // nothing.
 func TestCopyFromSteadyStateAllocs(t *testing.T) {
+	t.Parallel()
 	src := RandomConnected(64, 96, rng.New(3))
 	dst := New(64)
 	dst.CopyFrom(src) // warm the arena

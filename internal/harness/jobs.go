@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"dyndiam/internal/faults"
+	"dyndiam/internal/stats"
+)
+
+// This file holds the job-shaped entry points the serving layer
+// (internal/serve) and cmd/chaos build on: canonical content keys for
+// deduplicating identical experiment submissions, the dimension/rate
+// fault-spec constructor shared by the chaos grid and the degradation
+// job kinds, and JSON-shaped views of result rows whose in-memory forms
+// carry error values.
+
+// CanonicalJobKey returns the content address of one experiment job: the
+// SHA-256 hex digest of the kind and the canonical JSON encoding of its
+// normalized parameters. params must be a map-free value (struct fields
+// and slices only) so encoding/json yields exactly one byte string per
+// value. Because every experiment is a pure function of its normalized
+// parameters (the repo-wide determinism contract), two submissions that
+// collide on a key are guaranteed to have byte-identical results — which
+// is what makes results content-addressable and identical in-flight jobs
+// safe to deduplicate.
+func CanonicalJobKey(kind string, params interface{}) (string, error) {
+	data, err := json.Marshal(params)
+	if err != nil {
+		return "", fmt.Errorf("harness: canonicalizing %s params: %v", kind, err)
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{'\n'})
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// FaultDims lists the single-dimension fault axes FaultSpecFor accepts,
+// in the order cmd/chaos sweeps them.
+func FaultDims() []string {
+	return []string{"drop", "dup", "corrupt", "crash", "edgecut"}
+}
+
+// FaultSpecFor builds the single-dimension fault Spec of one degradation
+// grid point — the dimension vocabulary shared by cmd/chaos and the
+// serving layer's degradation job kinds. The reserved dimension "none"
+// (and any dimension at rate 0) yields the zero Spec, which the sweeps
+// compile to no fault plan at all: the clean anchor.
+func FaultSpecFor(dim string, rate float64) (faults.Spec, error) {
+	var s faults.Spec
+	switch dim {
+	case "none":
+		if rate != 0 {
+			return s, fmt.Errorf("harness: dimension \"none\" only accepts rate 0, got %v", rate)
+		}
+	case "drop":
+		s.Drop = rate
+	case "dup":
+		s.Dup = rate
+	case "corrupt":
+		s.Corrupt = rate
+	case "crash":
+		s.Crash = rate
+	case "edgecut":
+		s.EdgeCut = rate
+	default:
+		return s, fmt.Errorf("harness: unknown fault dimension %q (want drop, dup, corrupt, crash, or edgecut)", dim)
+	}
+	return s, nil
+}
+
+// CellFailureJSON is the JSON shape of one non-OK graceful-sweep cell:
+// the CellResult's error flattened to a string so the row marshals
+// deterministically (errors have no canonical JSON form).
+type CellFailureJSON struct {
+	Cell    int    `json:"cell"`
+	Outcome string `json:"outcome"`
+	Err     string `json:"err"`
+}
+
+// DegradationRowJSON is the JSON shape of one DegradationRow: the Spec
+// replaced by its stable label and the per-cell failures flattened via
+// CellFailureJSON. Marshaling a slice of these is byte-deterministic,
+// which the serving layer relies on for content-addressed result bodies.
+type DegradationRowJSON struct {
+	Label     string            `json:"label"`
+	Trials    int               `json:"trials"`
+	Errors    int               `json:"errors"`
+	ErrorRate float64           `json:"error_rate"`
+	WilsonLo  float64           `json:"wilson_lo"`
+	WilsonHi  float64           `json:"wilson_hi"`
+	Rounds    stats.Summary     `json:"rounds"`
+	Failures  []CellFailureJSON `json:"failures,omitempty"`
+}
+
+// DegradationRowsJSON converts degradation sweep rows to their JSON shape.
+func DegradationRowsJSON(rows []DegradationRow) []DegradationRowJSON {
+	out := make([]DegradationRowJSON, len(rows))
+	for i, r := range rows {
+		j := DegradationRowJSON{
+			Label: r.Label, Trials: r.Trials, Errors: r.Errors,
+			ErrorRate: r.ErrorRate, WilsonLo: r.WilsonLo, WilsonHi: r.WilsonHi,
+			Rounds: r.Rounds,
+		}
+		for _, f := range r.CellFailures {
+			j.Failures = append(j.Failures, CellFailureJSON{
+				Cell: f.Cell, Outcome: f.Outcome.String(), Err: f.Err.Error(),
+			})
+		}
+		out[i] = j
+	}
+	return out
+}

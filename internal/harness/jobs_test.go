@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyndiam/internal/faults"
+	"dyndiam/internal/stats"
+)
+
+func TestCanonicalJobKey(t *testing.T) {
+	type params struct {
+		N     int   `json:"n,omitempty"`
+		Sizes []int `json:"sizes,omitempty"`
+	}
+	a, err := CanonicalJobKey("gap_table", params{N: 16, Sizes: []int{16, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalJobKey("gap_table", params{N: 16, Sizes: []int{16, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equal params hash differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 || strings.ToLower(a) != a {
+		t.Errorf("key %q is not lowercase sha256 hex", a)
+	}
+	// The kind participates in the key: same params, different kind.
+	c, err := CanonicalJobKey("leader_sweep", params{N: 16, Sizes: []int{16, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("kind does not participate in the content key")
+	}
+	// Any param change moves the key.
+	d, err := CanonicalJobKey("gap_table", params{N: 16, Sizes: []int{16, 33}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("param change did not move the content key")
+	}
+	// Unmarshalable params (e.g. channels) are a structured error.
+	if _, err := CanonicalJobKey("bad", make(chan int)); err == nil {
+		t.Error("unmarshalable params accepted")
+	}
+}
+
+func TestFaultSpecFor(t *testing.T) {
+	field := map[string]func(faults.Spec) float64{
+		"drop":    func(s faults.Spec) float64 { return s.Drop },
+		"dup":     func(s faults.Spec) float64 { return s.Dup },
+		"corrupt": func(s faults.Spec) float64 { return s.Corrupt },
+		"crash":   func(s faults.Spec) float64 { return s.Crash },
+		"edgecut": func(s faults.Spec) float64 { return s.EdgeCut },
+	}
+	for _, dim := range FaultDims() {
+		s, err := FaultSpecFor(dim, 0.25)
+		if err != nil {
+			t.Fatalf("%s: %v", dim, err)
+		}
+		if got := field[dim](s); got != 0.25 {
+			t.Errorf("%s: rate landed on the wrong field (%+v)", dim, s)
+		}
+		// Rate zero on any dimension is the clean anchor.
+		z, err := FaultSpecFor(dim, 0)
+		if err != nil {
+			t.Fatalf("%s at 0: %v", dim, err)
+		}
+		if !z.Zero() {
+			t.Errorf("%s at rate 0 is not the zero Spec: %+v", dim, z)
+		}
+	}
+	if s, err := FaultSpecFor("none", 0); err != nil || !s.Zero() {
+		t.Errorf("none/0 = (%+v, %v), want zero Spec", s, err)
+	}
+	if _, err := FaultSpecFor("none", 0.1); err == nil {
+		t.Error("none at a positive rate accepted")
+	}
+	if _, err := FaultSpecFor("gamma-rays", 0.1); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+}
+
+func TestDegradationRowsJSON(t *testing.T) {
+	rows := []DegradationRow{
+		{
+			Label: "none", Trials: 4, Errors: 0, ErrorRate: 0,
+			WilsonLo: 0, WilsonHi: 0.49,
+			Rounds: stats.Summary{N: 4, Mean: 10},
+		},
+		{
+			Label: "drop=0.30", Trials: 4, Errors: 2, ErrorRate: 0.5,
+			WilsonLo: 0.15, WilsonHi: 0.85,
+			Rounds: stats.Summary{N: 2, Mean: 12},
+			CellFailures: []CellResult{
+				{Cell: 1, Outcome: CellFailed, Err: errors.New("boom")},
+				{Cell: 3, Outcome: CellTimedOut, Err: errors.New("slow")},
+			},
+		},
+	}
+	got := DegradationRowsJSON(rows)
+	want := []DegradationRowJSON{
+		{Label: "none", Trials: 4, WilsonHi: 0.49, Rounds: stats.Summary{N: 4, Mean: 10}},
+		{
+			Label: "drop=0.30", Trials: 4, Errors: 2, ErrorRate: 0.5,
+			WilsonLo: 0.15, WilsonHi: 0.85,
+			Rounds: stats.Summary{N: 2, Mean: 12},
+			Failures: []CellFailureJSON{
+				{Cell: 1, Outcome: "failed", Err: "boom"},
+				{Cell: 3, Outcome: "timed_out", Err: "slow"},
+			},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("rows:\ngot  %+v\nwant %+v", got, want)
+	}
+}

@@ -12,11 +12,13 @@
 //
 // Any finding can be suppressed by a comment
 //
-//	//lint:allow <rule> <reason>
+//	//lint:allow <rule>[,<rule>...] <reason>
 //
 // placed either on the flagged line or on the line directly above it.
-// The reason is free text but should name the invariant argument (e.g.
-// "callers sort; order documented as unspecified").
+// The first field is one rule name or a comma-separated list (for lines
+// that several strict rules flag at once); the reason is free text but
+// should name the invariant argument (e.g. "callers sort; order
+// documented as unspecified").
 package lint
 
 import (
@@ -153,7 +155,16 @@ func allowedLines(fset *token.FileSet, files []*ast.File, rule string) map[strin
 					continue
 				}
 				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
-				if len(fields) == 0 || fields[0] != rule {
+				if len(fields) == 0 {
+					continue
+				}
+				named := false
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == rule {
+						named = true
+					}
+				}
+				if !named {
 					continue
 				}
 				pos := fset.Position(c.Pos())
@@ -177,6 +188,7 @@ func DefaultAnalyzers() []*Analyzer {
 		MapOrder,
 		ObsDeterminism,
 		FaultsDeterminism,
+		ServeDeterminism,
 		CongestSend,
 		PanicFree,
 		PrintClean,

@@ -80,6 +80,7 @@ func TestAnalyzers(t *testing.T) {
 		{MapOrder, "maporder"},
 		{ObsDeterminism, "obsdeterminism"},
 		{FaultsDeterminism, "faultsdeterminism"},
+		{ServeDeterminism, "servedeterminism"},
 		{CongestSend, "congestsend"},
 		{PanicFree, "panicfree"},
 		{PrintClean, "printclean"},
@@ -108,13 +109,14 @@ func TestAnalyzers(t *testing.T) {
 // bypassed, as this test does.
 func TestRuleExclusivity(t *testing.T) {
 	all := DefaultAnalyzers()
-	corpora := []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "congestsend", "panicfree", "printclean"}
+	corpora := []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "servedeterminism", "congestsend", "panicfree", "printclean"}
 	intendedOverlap := map[string]map[string]bool{
-		"determinism": {"obsdeterminism": true, "faultsdeterminism": true}, // all three ban the wall clock
+		"determinism": {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true}, // all four ban the wall clock
 		// Every maporder range is also a map range under the strict rules.
-		"maporder":          {"obsdeterminism": true, "faultsdeterminism": true},
-		"obsdeterminism":    {"determinism": true, "faultsdeterminism": true}, // time.Now + map ranges co-fire
-		"faultsdeterminism": {"determinism": true, "obsdeterminism": true},    // same strict-superset pattern
+		"maporder":          {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true},
+		"obsdeterminism":    {"determinism": true, "faultsdeterminism": true, "servedeterminism": true}, // time.Now + map ranges co-fire
+		"faultsdeterminism": {"determinism": true, "obsdeterminism": true, "servedeterminism": true},    // same strict-superset pattern
+		"servedeterminism":  {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true},   // same strict-superset pattern
 	}
 	for _, corpus := range corpora {
 		pkg := loadCorpus(t, corpus)
@@ -175,6 +177,12 @@ func TestScopes(t *testing.T) {
 		{"faultsdeterminism", "dyndiam/internal/faults", true},
 		{"faultsdeterminism", "dyndiam/internal/dynet", false},
 		{"faultsdeterminism", "dyndiam/internal/obs", false},
+		// The serving layer gets the same strict treatment: content
+		// addressing needs one byte string per (kind, params) forever.
+		{"servedeterminism", "dyndiam/internal/serve", true},
+		{"servedeterminism", "dyndiam/internal/obs", false},
+		{"servedeterminism", "dyndiam/internal/faults", false},
+		{"servedeterminism", "dyndiam/cmd/dynserve", false},
 		{"congestsend", "dyndiam/internal/protocols/leader", true},
 		{"congestsend", "dyndiam/internal/dynet", false},
 		{"panicfree", "dyndiam/internal/graph", true},

@@ -1,0 +1,44 @@
+package lint
+
+import "go/ast"
+
+// ServeDeterminism enforces the strict determinism contract of the
+// experiment-serving layer (internal/serve), the same shape as
+// obsdeterminism and faultsdeterminism. The serving layer's whole value
+// proposition is that results are content-addressed: one (kind, params)
+// key must map to one byte string forever, across restarts and across
+// deduplicated concurrent submissions. That only holds if nothing on the
+// result path reads map order or the wall clock. Map iteration is banned
+// outright — the result cache is a map, and listing or exporting it by
+// iteration is one refactor away from order-dependent responses (the
+// cache keeps an insertion-order key slice for exactly this reason).
+// Wall-clock reads are banned except where explicitly annotated: the
+// scheduling edge of the layer (latency metrics, job budgets) genuinely
+// lives in wall-clock time, and each such read carries a //lint:allow
+// servedeterminism annotation arguing it never feeds a result body.
+var ServeDeterminism = &Analyzer{
+	Name: "servedeterminism",
+	Doc: "forbid map iteration and unannotated wall-clock reads in internal/serve: " +
+		"content-addressed results must be pure functions of (kind, params); only annotated queue/timeout paths may read the clock",
+	Scope: func(path string) bool { return underAny(path, "internal/serve") },
+	Run:   runServeDeterminism,
+}
+
+func runServeDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if p.isMapRange(n) {
+					p.Reportf(n.Pos(), "map iteration in the serving layer: walk the insertion-order key slice instead, so listings and exports are deterministic")
+				}
+			case *ast.SelectorExpr:
+				if p.pkgIdentOrName(file, n.X) == "time" && bannedClockCalls[n.Sel.Name] {
+					p.Reportf(n.Pos(), "time.%s in the serving layer: results must not depend on the wall clock; annotate queue/timeout reads with //lint:allow servedeterminism", n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -9,11 +9,12 @@ import (
 )
 
 // SortedValues collects then sorts; the maporder allow rides on the
-// line above the append, and the obsdeterminism/faultsdeterminism
-// allows suppress the stricter any-map-range rules on the loop itself.
+// line above the append, the comma-list allow suppresses two of the
+// stricter any-map-range rules at once, and the faultsdeterminism allow
+// demonstrates the single-rule form on the loop itself.
 func SortedValues(m map[int]int) []int {
 	var out []int
-	//lint:allow obsdeterminism fixture demonstrates the strict-rule escape hatch
+	//lint:allow obsdeterminism,servedeterminism fixture demonstrates the comma-list escape hatch
 	for _, v := range m { //lint:allow faultsdeterminism fixture demonstrates the strict-rule escape hatch
 
 		//lint:allow maporder collected slice is sorted before being returned
@@ -39,11 +40,11 @@ func Guard(v int) int {
 // WrongRule shows that an allow for a different rule does not suppress:
 // the panicfree allow below must NOT silence maporder, and the
 // unsuppressed map range is still an obsdeterminism finding (the
-// faultsdeterminism twin of that finding is allowed away to keep each
-// line at one want marker).
+// faultsdeterminism/servedeterminism twins of that finding are allowed
+// away to keep each line at one want marker).
 func WrongRule(m map[int]int) []int {
 	var out []int
-	//lint:allow faultsdeterminism keep this line at a single want marker
+	//lint:allow faultsdeterminism,servedeterminism keep this line at a single want marker
 	for k := range m { // want:obsdeterminism
 		//lint:allow panicfree mismatched rule name
 		out = append(out, k) // want:maporder

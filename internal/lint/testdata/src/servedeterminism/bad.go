@@ -1,0 +1,48 @@
+// Package servedeterminism is a lint fixture for the servedeterminism
+// analyzer. The map iterations below are order-independent in the
+// maporder sense — nothing leaks iteration order into a result — so the
+// general rule stays silent; the serving layer bans them anyway, because
+// a content-addressed cache walked by map order is one refactor away
+// from order-dependent listings.
+package servedeterminism
+
+import "time"
+
+type entry struct {
+	key  string
+	body []byte
+	done bool
+}
+
+type cache struct {
+	entries map[string]*entry
+	order   []string
+}
+
+// CountDone tallies completed entries commutatively. Order-independent,
+// so maporder is silent — but the serving layer must walk the order
+// slice, not the map.
+func CountDone(c *cache) int {
+	total := 0
+	for _, e := range c.entries { // want:servedeterminism
+		if e.done {
+			total++
+		}
+	}
+	return total
+}
+
+// EvictAll marks every entry undone through keyed writes. Still banned:
+// the visit order is randomized map order.
+func EvictAll(c *cache) {
+	for key := range c.entries { // want:servedeterminism
+		c.entries[key].done = false
+	}
+}
+
+// StampBody puts the wall clock into a result body — exactly the bug the
+// rule exists to stop: the same job would serve different bytes on every
+// execution, breaking content addressing.
+func StampBody(e *entry) {
+	e.body = time.Now().AppendFormat(e.body, "15:04:05") // want:servedeterminism
+}

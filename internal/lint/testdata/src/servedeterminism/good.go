@@ -1,0 +1,19 @@
+package servedeterminism
+
+// List walks the insertion-order slice and consults the map only for
+// keyed lookups — the pattern the serving layer's cache uses in place of
+// map iteration, so listings are deterministic.
+func List(c *cache) []*entry {
+	var out []*entry
+	for _, key := range c.order {
+		out = append(out, c.entries[key])
+	}
+	return out
+}
+
+// Lookup is a keyed read; maps as dictionaries are fine, only iteration
+// is banned.
+func Lookup(c *cache, key string) (*entry, bool) {
+	e, ok := c.entries[key]
+	return e, ok
+}

@@ -66,6 +66,27 @@ func TestRegistryCountersGaugesHistograms(t *testing.T) {
 	}
 }
 
+func TestHistogramAddBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_ms", []int64{1, 4, 16})
+	h.Observe(2)
+	// Fold externally accumulated buckets: one <=1, one +Inf, sum 101, n 2.
+	h.AddBuckets([]int64{1, 0, 0, 1}, 101, 2)
+	if want := []int64{1, 1, 0, 1}; !reflect.DeepEqual(h.counts, want) {
+		t.Fatalf("buckets = %v want %v", h.counts, want)
+	}
+	if h.sum != 103 || h.n != 3 {
+		t.Fatalf("sum,n = %d,%d want 103,3", h.sum, h.n)
+	}
+	// Short count slices fold positionally; nil handles no-op.
+	h.AddBuckets([]int64{2}, 0, 0)
+	if h.counts[0] != 3 {
+		t.Fatalf("short fold: counts[0] = %d want 3", h.counts[0])
+	}
+	var nilH *Histogram
+	nilH.AddBuckets([]int64{1}, 1, 1)
+}
+
 func TestRegistryNilSafe(t *testing.T) {
 	var r *Registry
 	r.Counter("x").Add(1)

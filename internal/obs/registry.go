@@ -93,6 +93,28 @@ func (h *Histogram) Observe(v int64) {
 	h.n++
 }
 
+// AddBuckets folds externally accumulated bucket counts into h: counts
+// carries one count per bound plus the trailing +Inf bucket (extra
+// entries are ignored), and sum/n aggregate the underlying observations.
+// Layers that accumulate under their own synchronization — the serving
+// layer's latency histogram guards its buckets with a mutex because a
+// Registry is single-goroutine by contract — use it to materialize a
+// Registry snapshot without replaying observations. No-op on nil.
+func (h *Histogram) AddBuckets(counts []int64, sum, n int64) {
+	if h == nil {
+		return
+	}
+	m := len(h.counts)
+	if len(counts) < m {
+		m = len(counts)
+	}
+	for i := 0; i < m; i++ {
+		h.counts[i] += counts[i]
+	}
+	h.sum += sum
+	h.n += n
+}
+
 // Counter returns the named counter, creating it on first use. A nil
 // registry returns a nil handle.
 func (r *Registry) Counter(name string) *Counter {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	a, b := New(42), New(42)
 	for i := 0; i < 1000; i++ {
 		if a.Uint64() != b.Uint64() {
@@ -16,6 +17,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestDistinctSeedsDiverge(t *testing.T) {
+	t.Parallel()
 	a, b := New(1), New(2)
 	same := 0
 	for i := 0; i < 100; i++ {
@@ -29,6 +31,7 @@ func TestDistinctSeedsDiverge(t *testing.T) {
 }
 
 func TestSplitIsPure(t *testing.T) {
+	t.Parallel()
 	root := New(7)
 	before := *root
 	c1 := root.Split(3, 9)
@@ -44,6 +47,7 @@ func TestSplitIsPure(t *testing.T) {
 }
 
 func TestSplitLabelsIndependent(t *testing.T) {
+	t.Parallel()
 	root := New(7)
 	c1 := root.Split(1, 2)
 	c2 := root.Split(2, 1)
@@ -64,6 +68,7 @@ func TestSplitLabelsIndependent(t *testing.T) {
 }
 
 func TestAtMatchesSplit(t *testing.T) {
+	t.Parallel()
 	root := New(99)
 	a := root.At(5, 17)
 	b := root.Split(6, 18)
@@ -75,6 +80,7 @@ func TestAtMatchesSplit(t *testing.T) {
 }
 
 func TestIntnRange(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, n uint8) bool {
 		nn := int(n%100) + 1
 		s := New(seed)
@@ -92,6 +98,7 @@ func TestIntnRange(t *testing.T) {
 }
 
 func TestIntnUniformish(t *testing.T) {
+	t.Parallel()
 	s := New(123)
 	const n, draws = 10, 100000
 	counts := make([]int, n)
@@ -107,6 +114,7 @@ func TestIntnUniformish(t *testing.T) {
 }
 
 func TestFloat64Range(t *testing.T) {
+	t.Parallel()
 	s := New(5)
 	for i := 0; i < 10000; i++ {
 		f := s.Float64()
@@ -117,6 +125,7 @@ func TestFloat64Range(t *testing.T) {
 }
 
 func TestExpMoments(t *testing.T) {
+	t.Parallel()
 	s := New(77)
 	const draws = 200000
 	var sum, sumSq float64
@@ -139,6 +148,7 @@ func TestExpMoments(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, n uint8) bool {
 		nn := int(n % 64)
 		p := New(seed).Perm(nn)
@@ -160,6 +170,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestProbExtremes(t *testing.T) {
+	t.Parallel()
 	s := New(3)
 	for i := 0; i < 100; i++ {
 		if s.Prob(0) {
@@ -172,6 +183,7 @@ func TestProbExtremes(t *testing.T) {
 }
 
 func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Intn(0) did not panic")

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"dyndiam/internal/harness"
+)
+
+// TestGoldenGapTableMatchesDirectHarness runs one real (non-stubbed) job
+// through the full HTTP path and checks the served rows are deep-equal
+// to a direct internal/harness run with the same seed — the service adds
+// scheduling and caching, never a different answer.
+func TestGoldenGapTableMatchesDirectHarness(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Workers: 1}) // default exec: the real harness
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	sizes, targetDiam, seed := []int{8, 12}, 2, uint64(5)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		jsonBody(t, SubmitRequest{Kind: KindGapTable, Params: Params{
+			Sizes: sizes, TargetDiam: targetDiam, Seed: seed,
+		}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	body, final, ok := s.Wait(view.Key)
+	if !ok || final.Status != StatusDone {
+		t.Fatalf("job = (%+v, %v): %s", final, ok, final.Err)
+	}
+
+	var envelope struct {
+		Kind   Kind            `json:"kind"`
+		Params Params          `json:"params"`
+		Table  string          `json:"table"`
+		Data   json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Kind != KindGapTable || envelope.Table == "" {
+		t.Fatalf("envelope = kind %q, table %d bytes", envelope.Kind, len(envelope.Table))
+	}
+	var served []harness.GapRow
+	if err := json.Unmarshal(envelope.Data, &served); err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := harness.GapTable(sizes, targetDiam, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(served, direct) {
+		t.Errorf("served rows diverge from direct harness run:\nserved %+v\ndirect %+v", served, direct)
+	}
+	if got := harness.FormatGapTable(direct).String(); got != envelope.Table {
+		t.Errorf("served table diverges from direct render:\n%s\nvs\n%s", envelope.Table, got)
+	}
+}
+
+// jsonBody marshals v for an http.Post body.
+func jsonBody(t *testing.T, v interface{}) *bytes.Reader {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(data)
+}

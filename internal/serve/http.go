@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"dyndiam/internal/obs"
+)
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	Kind   Kind   `json:"kind"`
+	Params Params `json:"params"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler builds the service's HTTP API:
+//
+//	POST /jobs             submit a job; 202 new, 200 duplicate,
+//	                       400 invalid, 429 (+Retry-After) queue full
+//	GET  /jobs             list all entries in submission order
+//	GET  /jobs/{id}        one entry's status
+//	GET  /jobs/{id}/result the stored result body (202 while pending,
+//	                       500 for failed jobs)
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding a value we just built cannot fail, and the status line is
+	// already out — nothing useful to do with an error here.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	view, outcome, err := s.Submit(req.Kind, req.Params)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	switch outcome {
+	case SubmitNew:
+		writeJSON(w, http.StatusAccepted, view)
+	case SubmitDup:
+		writeJSON(w, http.StatusOK, view)
+	default: // SubmitRejected: queue full
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSec))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "job queue full; retry later"})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: s.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job key"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	body, view, ok := s.ResultBody(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job key"})
+		return
+	}
+	switch view.Status {
+	case StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		// Stored bytes are served verbatim: byte-identical across fetches
+		// and across deduplicated submissions.
+		_, _ = w.Write(body)
+	case StatusFailed:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: view.Err})
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteMetricsText(w, s.MetricsRegistry())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}

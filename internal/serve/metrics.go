@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dyndiam/internal/obs"
+)
+
+// latencyBoundsMs are the job-latency histogram bucket edges in
+// milliseconds. Package-level so every materialized Registry shares one
+// layout (obs histograms merge positionally).
+var latencyBoundsMs = []int64{1, 5, 25, 100, 500, 2500, 10000}
+
+// metrics holds the serving layer's own counters. An obs.Registry is
+// single-goroutine by contract, while HTTP handlers and workers update
+// these concurrently — so the live values are atomics (plus one mutex
+// for the histogram), and MetricsRegistry materializes a fresh Registry
+// per scrape from a consistent read of them.
+type metrics struct {
+	requests   atomic.Int64 // submissions accepted into Submit (valid or not)
+	executions atomic.Int64 // harness executions actually started
+	cacheHits  atomic.Int64 // submissions answered by an existing entry
+	cacheMiss  atomic.Int64 // submissions that created a new entry or were rejected
+	rejected   atomic.Int64 // submissions bounced by a full queue
+	failed     atomic.Int64 // jobs that completed with an error
+
+	lat latencyHist
+}
+
+// latencyHist accumulates job wall-clock latencies under its own mutex,
+// bucket-compatible with the obs histogram it folds into at scrape time.
+type latencyHist struct {
+	mu     sync.Mutex
+	counts []int64 // len(latencyBoundsMs)+1, trailing +Inf bucket
+	sum    int64
+	n      int64
+}
+
+func (l *latencyHist) observe(ms int64) {
+	l.mu.Lock()
+	if l.counts == nil {
+		l.counts = make([]int64, len(latencyBoundsMs)+1)
+	}
+	i := 0
+	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
+		i++
+	}
+	l.counts[i]++
+	l.sum += ms
+	l.n++
+	l.mu.Unlock()
+}
+
+// fold copies the accumulated buckets into h via Histogram.AddBuckets.
+func (l *latencyHist) fold(h *obs.Histogram) {
+	l.mu.Lock()
+	if l.counts != nil {
+		h.AddBuckets(l.counts, l.sum, l.n)
+	}
+	l.mu.Unlock()
+}
+
+// MetricsRegistry materializes the server's counters into a fresh
+// obs.Registry, ready for obs.WriteMetricsText. Each call snapshots the
+// live atomics; the returned Registry is owned by the caller and safe to
+// read single-threaded as usual.
+func (s *Server) MetricsRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("serve_requests_total").Add(s.m.requests.Load())
+	r.Counter("serve_harness_executions_total").Add(s.m.executions.Load())
+	r.Counter("serve_cache_hits_total").Add(s.m.cacheHits.Load())
+	r.Counter("serve_cache_misses_total").Add(s.m.cacheMiss.Load())
+	r.Counter("serve_queue_rejected_total").Add(s.m.rejected.Load())
+	r.Counter("serve_jobs_failed_total").Add(s.m.failed.Load())
+	r.Gauge("serve_queue_depth").Set(int64(len(s.queue)))
+	s.m.lat.fold(r.Histogram("serve_job_latency_ms", latencyBoundsMs))
+	return r
+}

@@ -1,0 +1,68 @@
+package serve
+
+// CachedResult is the checkpoint shape of one completed cache entry.
+// cmd/dynserve saves the slice on shutdown and preloads it on -resume,
+// so a restarted service answers previously computed keys from cache.
+// Body is opaque bytes (base64 in the checkpoint file), not embedded
+// JSON: re-encoding an embedded json.RawMessage inside the indented
+// checkpoint envelope would re-indent it and break the byte identity
+// between a preloaded result and the originally served one.
+type CachedResult struct {
+	Key    string `json:"key"`
+	Kind   Kind   `json:"kind"`
+	Params Params `json:"params"`
+	Body   []byte `json:"body"`
+}
+
+// CachedResults exports every completed entry in insertion order.
+// Pending and failed entries are omitted: a failed job should re-run
+// after a restart, not replay its error.
+func (s *Server) CachedResults() []CachedResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []CachedResult
+	for _, key := range s.order {
+		e := s.cache[key]
+		if e.status != StatusDone {
+			continue
+		}
+		out = append(out, CachedResult{
+			Key: e.key, Kind: e.kind, Params: e.params,
+			Body: append([]byte(nil), e.body...),
+		})
+	}
+	return out
+}
+
+// Preload installs checkpointed results as completed cache entries and
+// reports how many were accepted. Each record's key is recomputed from
+// its (kind, params) — records whose stored key does not match (a
+// tampered or stale checkpoint), fail validation, or collide with an
+// existing entry are skipped rather than trusted.
+func (s *Server) Preload(results []CachedResult) int {
+	accepted := 0
+	for _, cr := range results {
+		np, err := normalize(cr.Kind, cr.Params)
+		if err != nil {
+			continue
+		}
+		key, err := jobKey(cr.Kind, np)
+		if err != nil || key != cr.Key {
+			continue
+		}
+		e := &entry{
+			key: key, kind: cr.Kind, params: np, status: StatusDone,
+			body: append([]byte(nil), cr.Body...),
+			done: make(chan struct{}),
+		}
+		close(e.done)
+		s.mu.Lock()
+		if _, exists := s.cache[key]; !exists {
+			s.cache[key] = e
+			s.order = append(s.order, key)
+			accepted++
+		}
+		s.mu.Unlock()
+	}
+	return accepted
+}

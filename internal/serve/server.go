@@ -1,0 +1,315 @@
+// Package serve exposes the repo's experiments — reliability runs,
+// degradation grids, the gap table, the Theorem 6 reduction, and the
+// construction figures — as an HTTP/JSON job service (stdlib only).
+//
+// Every experiment in this repo is a pure function of its normalized
+// parameters, which buys the service two structural properties:
+//
+//   - Results are content-addressed. A job's identity is the SHA-256 of
+//     (kind, canonical params JSON); its result body is marshaled once
+//     and every fetch of that key serves the same bytes.
+//   - Identical submissions deduplicate, singleflight-style. The cache
+//     holds one entry per key whatever its state (queued, running, done,
+//     failed), and the dedupe-or-enqueue decision is atomic under one
+//     mutex, so K concurrent identical submissions execute the harness
+//     exactly once and all observe the same entry.
+//
+// Scheduling is a bounded FIFO queue drained by a fixed worker pool.
+// When the queue is full, Submit rejects immediately (the HTTP layer
+// maps this to 429 + Retry-After) rather than blocking the accept loop.
+// Each job runs under an optional wall-clock budget in a guarded
+// goroutine: overruns and panics degrade to a recorded failed entry, and
+// the worker moves on.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is the lifecycle state of a cache entry.
+type Status string
+
+// Entry lifecycle: Queued -> Running -> Done | Failed. Preloaded
+// checkpoint entries start at Done.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Config tunes a Server. The zero value is usable: New fills defaults.
+type Config struct {
+	// Workers is the size of the worker pool (default 2).
+	Workers int
+	// QueueCap bounds the FIFO job queue; a full queue rejects new work
+	// (default 32).
+	QueueCap int
+	// JobBudget bounds one job's wall-clock time; overruns are abandoned
+	// and recorded as failed. 0 means unlimited.
+	JobBudget time.Duration
+	// RetryAfterSec is the Retry-After hint on 429 responses (default 1).
+	RetryAfterSec int
+	// Exec overrides the harness executor — tests stub it to drive the
+	// scheduling machinery without running sweeps. Default: run.
+	Exec func(Kind, Params) ([]byte, error)
+}
+
+// entry is one cache slot: the single authority for a content key. All
+// mutable fields are guarded by Server.mu; done is closed exactly once
+// when the entry reaches a terminal status.
+type entry struct {
+	key    string
+	kind   Kind
+	params Params
+	status Status
+	body   []byte
+	errMsg string
+	done   chan struct{}
+}
+
+// JobView is the externally visible snapshot of a cache entry.
+type JobView struct {
+	Key    string `json:"key"`
+	Kind   Kind   `json:"kind"`
+	Params Params `json:"params"`
+	Status Status `json:"status"`
+	Err    string `json:"err,omitempty"`
+}
+
+// view snapshots e. Callers must hold Server.mu.
+func (e *entry) view() JobView {
+	return JobView{Key: e.key, Kind: e.kind, Params: e.params, Status: e.status, Err: e.errMsg}
+}
+
+// Server schedules experiment jobs over a content-addressed result
+// cache. Create with New, serve its Handler, stop with Close.
+type Server struct {
+	cfg  Config
+	exec func(Kind, Params) ([]byte, error)
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	order []string // insertion order; the no-map-iteration listing walk
+
+	queue chan *entry
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	m metrics
+}
+
+// New builds a Server and starts its worker pool. The caller owns the
+// shutdown: Close stops the workers (queued-but-unstarted jobs stay
+// queued and are dropped with the process).
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 32
+	}
+	if cfg.RetryAfterSec <= 0 {
+		cfg.RetryAfterSec = 1
+	}
+	s := &Server{
+		cfg:   cfg,
+		exec:  cfg.Exec,
+		cache: map[string]*entry{},
+		queue: make(chan *entry, cfg.QueueCap),
+		quit:  make(chan struct{}),
+	}
+	if s.exec == nil {
+		s.exec = run
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool and waits for in-flight jobs to finish
+// (or to be abandoned by their budget).
+func (s *Server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// SubmitOutcome classifies what Submit did with a valid submission.
+type SubmitOutcome int
+
+const (
+	// SubmitNew means a fresh entry was created and enqueued.
+	SubmitNew SubmitOutcome = iota
+	// SubmitDup means an existing entry (any status) absorbed the
+	// submission — the singleflight/cache-hit path.
+	SubmitDup
+	// SubmitRejected means the queue was full; nothing was recorded and
+	// the client should retry later.
+	SubmitRejected
+)
+
+// Submit normalizes and content-addresses one job request, then either
+// returns the existing entry for its key, enqueues a fresh one, or
+// rejects for backpressure. Lookup and enqueue happen atomically under
+// one mutex — a concurrent identical submission can never observe a key
+// that is about to be rolled back, and the queue send is non-blocking so
+// Submit never stalls the accept loop.
+func (s *Server) Submit(kind Kind, p Params) (JobView, SubmitOutcome, error) {
+	s.m.requests.Add(1)
+	np, err := normalize(kind, p)
+	if err != nil {
+		return JobView{}, SubmitRejected, err
+	}
+	key, err := jobKey(kind, np)
+	if err != nil {
+		return JobView{}, SubmitRejected, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.cache[key]; ok {
+		s.m.cacheHits.Add(1)
+		return e.view(), SubmitDup, nil
+	}
+	s.m.cacheMiss.Add(1)
+	e := &entry{key: key, kind: kind, params: np, status: StatusQueued, done: make(chan struct{})}
+	select {
+	case s.queue <- e:
+		s.cache[key] = e
+		s.order = append(s.order, key)
+		return e.view(), SubmitNew, nil
+	default:
+		s.m.rejected.Add(1)
+		return JobView{}, SubmitRejected, nil
+	}
+}
+
+// Job returns the entry for key, if any.
+func (s *Server) Job(key string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache[key]
+	if !ok {
+		return JobView{}, false
+	}
+	return e.view(), true
+}
+
+// Jobs lists every cache entry in insertion order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, key := range s.order {
+		out = append(out, s.cache[key].view())
+	}
+	return out
+}
+
+// ResultBody returns the stored result bytes for key. ok reports whether
+// the key exists at all; a nil body with ok=true means the job is still
+// pending or failed (check the view).
+func (s *Server) ResultBody(key string) (body []byte, view JobView, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, exists := s.cache[key]
+	if !exists {
+		return nil, JobView{}, false
+	}
+	return e.body, e.view(), true
+}
+
+// Wait blocks until the entry for key reaches a terminal status and
+// returns its final view and body. Unknown keys return ok=false
+// immediately. Intended for tests and embedded (non-HTTP) callers; HTTP
+// clients poll instead.
+func (s *Server) Wait(key string) (body []byte, view JobView, ok bool) {
+	s.mu.Lock()
+	e, exists := s.cache[key]
+	s.mu.Unlock()
+	if !exists {
+		return nil, JobView{}, false
+	}
+	<-e.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.body, e.view(), true
+}
+
+// RetryAfterSec exposes the configured backpressure hint.
+func (s *Server) RetryAfterSec() int { return s.cfg.RetryAfterSec }
+
+// worker drains the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case e := <-s.queue:
+			s.runJob(e)
+		}
+	}
+}
+
+// runJob executes one entry to a terminal status. The harness execution
+// counter increments exactly once per entry — the singleflight assertion
+// that K identical submissions cost one sweep keys off it.
+func (s *Server) runJob(e *entry) {
+	s.mu.Lock()
+	e.status = StatusRunning
+	s.mu.Unlock()
+	s.m.executions.Add(1)
+	start := time.Now() //lint:allow servedeterminism job latency metric, never observed by experiment code
+	body, err := s.execGuarded(e.kind, e.params)
+	s.m.lat.observe(time.Since(start).Milliseconds()) //lint:allow servedeterminism job latency metric, never observed by experiment code
+	s.mu.Lock()
+	if err != nil {
+		e.status = StatusFailed
+		e.errMsg = err.Error()
+		s.m.failed.Add(1)
+	} else {
+		e.status = StatusDone
+		e.body = body
+	}
+	close(e.done)
+	s.mu.Unlock()
+}
+
+// execGuarded runs the executor in a guarded goroutine: panics become
+// errors, and with a JobBudget configured an overrunning job is
+// abandoned (its goroutine finishes into a buffered channel and is
+// garbage collected) so one hung sweep degrades to a recorded failure
+// instead of wedging a worker forever. Same containment pattern as the
+// harness's graceful cell runner.
+func (s *Server) execGuarded(kind Kind, p Params) (body []byte, err error) {
+	type reply struct {
+		body []byte
+		err  error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- reply{nil, fmt.Errorf("serve: job %s panicked: %v", kind, r)}
+			}
+		}()
+		b, e := s.exec(kind, p)
+		ch <- reply{b, e}
+	}()
+	if s.cfg.JobBudget <= 0 {
+		r := <-ch
+		return r.body, r.err
+	}
+	t := time.NewTimer(s.cfg.JobBudget)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.body, r.err
+	case <-t.C:
+		return nil, fmt.Errorf("serve: job %s exceeded budget %v and was abandoned", kind, s.cfg.JobBudget)
+	}
+}

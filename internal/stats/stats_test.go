@@ -9,6 +9,7 @@ import (
 )
 
 func TestSummarizeKnownSample(t *testing.T) {
+	t.Parallel()
 	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if s.N != 8 || s.Mean != 5 {
 		t.Errorf("N=%d Mean=%v, want 8, 5", s.N, s.Mean)
@@ -26,6 +27,7 @@ func TestSummarizeKnownSample(t *testing.T) {
 }
 
 func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	t.Parallel()
 	if s := Summarize(nil); s.N != 0 {
 		t.Errorf("empty: %+v", s)
 	}
@@ -36,6 +38,7 @@ func TestSummarizeEmptyAndSingleton(t *testing.T) {
 }
 
 func TestPercentileBounds(t *testing.T) {
+	t.Parallel()
 	sorted := []float64{1, 2, 3, 4}
 	if Percentile(sorted, 0) != 1 || Percentile(sorted, 1) != 4 {
 		t.Error("extreme percentiles wrong")
@@ -46,6 +49,7 @@ func TestPercentileBounds(t *testing.T) {
 }
 
 func TestPercentilePanicsOnEmpty(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
@@ -55,6 +59,7 @@ func TestPercentilePanicsOnEmpty(t *testing.T) {
 }
 
 func TestSummaryInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64) bool {
 		xs := make([]float64, 0, len(raw))
 		for _, v := range raw {
@@ -83,6 +88,7 @@ func TestSummaryInvariants(t *testing.T) {
 }
 
 func TestPercentileMonotone(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64, aRaw, bRaw uint8) bool {
 		xs := make([]float64, 0, len(raw))
 		for _, v := range raw {
@@ -107,6 +113,7 @@ func TestPercentileMonotone(t *testing.T) {
 }
 
 func TestRepeat(t *testing.T) {
+	t.Parallel()
 	s, err := Repeat(10, func(seed uint64) (float64, error) {
 		return float64(seed), nil
 	})
@@ -128,6 +135,7 @@ func TestRepeat(t *testing.T) {
 }
 
 func TestWilson(t *testing.T) {
+	t.Parallel()
 	if lo, hi := Wilson(0, 0, 1.96); lo != 0 || hi != 1 {
 		t.Errorf("n=0 interval [%v,%v], want [0,1]", lo, hi)
 	}
@@ -165,6 +173,7 @@ func TestWilson(t *testing.T) {
 }
 
 func TestStringFormat(t *testing.T) {
+	t.Parallel()
 	s := Summarize([]float64{1, 3})
 	if got := s.String(); got == "" {
 		t.Error("empty render")
