@@ -1,19 +1,40 @@
 // Command dynlint runs the repository's model-invariant analyzers
 // (internal/lint) over the module and reports findings with file:line
-// positions. It exits 1 when any finding is reported, 2 on usage or
-// internal errors, and 0 on a clean tree.
+// positions.
+//
+// Exit code contract: 0 on a clean tree (or after -write-baseline), 1
+// when any finding is reported, 2 on usage or load errors (bad flags,
+// unknown rule names, unmatched patterns, unreadable baseline).
 //
 // Usage:
 //
-//	dynlint [-list] [patterns...]
+//	dynlint [-list] [-rules a,b] [-sarif file] [-baseline file] [-write-baseline file] [patterns...]
 //
 // Each pattern is a directory or a Go-style recursive pattern ("./...",
-// "dir/..."). With no patterns, "./..." is linted. The -list flag prints
-// the rule set and each rule's scope instead of linting.
+// "dir/..."). With no patterns, "./..." is linted. All matched packages
+// are loaded as one module (each package type-checked exactly once, with
+// module-internal dependencies pulled in automatically), so the
+// whole-module rules — hotpathalloc, puritytaint — see the complete call
+// graph, not one package at a time.
 //
-// Suppress an individual finding with a trailing or preceding comment:
+// Flags:
 //
-//	//lint:allow <rule> <reason>
+//	-list            print the full rule set (one line per rule) and exit
+//	-rules a,b       run only the named rules (staleallow included only
+//	                 when named; it never misjudges escapes for rules
+//	                 that did not run)
+//	-sarif file      additionally write findings as SARIF 2.1.0
+//	-baseline file   drop findings recorded in the baseline (ratchet)
+//	-write-baseline file   record current findings as the baseline, exit 0
+//
+// Suppress an individual finding with a comment on the flagged line or
+// standalone on the line above:
+//
+//	//lint:allow <rule>[,<rule>...] <reason>
+//
+// For the whole-module rules an allow on a call-site line also prunes
+// the call-graph edges leaving that line. The staleallow check reports
+// directives that suppress nothing.
 package main
 
 import (
@@ -22,7 +43,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"dyndiam/internal/lint"
 )
@@ -36,17 +59,46 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dynlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	list := fs.Bool("list", false, "list rules and scopes instead of linting")
+	list := fs.Bool("list", false, "list rules instead of linting")
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run")
+	sarifPath := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file")
+	baselinePath := fs.String("baseline", "", "drop findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	analyzers := lint.DefaultAnalyzers()
+	modAnalyzers := lint.DefaultModuleAnalyzers()
+	rules := lint.AllRules(analyzers, modAnalyzers)
 	if *list {
-		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		for _, r := range rules {
+			fmt.Fprintf(stdout, "%-18s %s\n", r.Name, r.Doc)
 		}
 		return 0
 	}
+
+	opts := lint.ModuleRunOptions{}
+	if *rulesFlag != "" {
+		known := map[string]bool{}
+		for _, r := range rules {
+			known[r.Name] = true
+		}
+		opts.Rules = map[string]bool{}
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				var names []string
+				for _, r := range rules {
+					names = append(names, r.Name)
+				}
+				sort.Strings(names)
+				fmt.Fprintf(stderr, "dynlint: unknown rule %q (known: %s)\n", name, strings.Join(names, ", "))
+				return 2
+			}
+			opts.Rules[name] = true
+		}
+	}
+
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -65,20 +117,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dynlint: %v\n", err)
 		return 2
 	}
-	total := 0
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir)
-		if err != nil {
-			fmt.Fprintf(stderr, "dynlint: %s: %v\n", dir, err)
+	start := time.Now()
+	mod, err := loader.LoadModule(dirs)
+	if err != nil {
+		fmt.Fprintf(stderr, "dynlint: %v\n", err)
+		return 2
+	}
+	findings := lint.RunModule(mod, analyzers, modAnalyzers, opts)
+	fmt.Fprintf(stderr, "dynlint: linted %d packages (%d loaded) in %v\n",
+		len(mod.Pkgs), len(mod.All()), time.Since(start).Round(time.Millisecond))
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, loader.ModRoot, findings); err != nil {
+			fmt.Fprintf(stderr, "dynlint: writing baseline: %v\n", err)
 			return 2
 		}
-		for _, f := range lint.RunAll(analyzers, pkg) {
-			fmt.Fprintln(stdout, f)
-			total++
+		fmt.Fprintf(stderr, "dynlint: recorded %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		findings, err = lint.FilterBaseline(*baselinePath, loader.ModRoot, findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "dynlint: reading baseline: %v\n", err)
+			return 2
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(stderr, "dynlint: %d finding(s)\n", total)
+	if *sarifPath != "" {
+		out, err := lint.SARIF(loader.ModRoot, rules, findings)
+		if err == nil {
+			err = os.WriteFile(*sarifPath, out, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "dynlint: writing SARIF: %v\n", err)
+			return 2
+		}
+	}
+
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "dynlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

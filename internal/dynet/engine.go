@@ -87,11 +87,15 @@ type Result struct {
 // reused across rounds, inboxes are assembled by an in-place insertion sort
 // over the already-ascending neighbor order (no sort.Slice closure), and
 // the connectivity check runs over preallocated scratch buffers. Per-round
-// allocations, if any, come from the machines or the adversary.
+// allocations, if any, come from the machines or the adversary. The
+// hotpathalloc rule enforces this interprocedurally; setup-phase and
+// error-path lines carry documented allows.
+//
+//lint:hotpath
 func (e *Engine) Run(maxRounds int) (*Result, error) {
 	n := len(e.Machines)
 	if n == 0 {
-		return &Result{Done: true}, nil
+		return &Result{Done: true}, nil //lint:allow hotpathalloc empty-engine early return, not the round loop
 	}
 	budget := e.Budget
 	if budget == 0 {
@@ -109,28 +113,28 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		terminated = AllDecided
 	}
 
-	res := &Result{Rounds: maxRounds}
-	actions := make([]Action, n)
-	outgoing := make([]Message, n)
-	inboxes := make([][]Message, n)
+	res := &Result{Rounds: maxRounds} //lint:allow hotpathalloc setup phase, before the round loop
+	actions := make([]Action, n)      //lint:allow hotpathalloc setup phase, before the round loop
+	outgoing := make([]Message, n)    //lint:allow hotpathalloc setup phase, before the round loop
+	inboxes := make([][]Message, n)   //lint:allow hotpathalloc setup phase, before the round loop
 	var dist, queue []int32
 	if e.CheckConnectivity {
-		dist = make([]int32, n)
-		queue = make([]int32, n)
+		dist = make([]int32, n)  //lint:allow hotpathalloc setup phase, before the round loop
+		queue = make([]int32, n) //lint:allow hotpathalloc setup phase, before the round loop
 	}
 	observing := e.Obs != nil
 	var decided []bool
 	if observing {
-		decided = make([]bool, n)
+		decided = make([]bool, n) //lint:allow hotpathalloc setup phase, before the round loop
 		for v, m := range e.Machines {
 			_, decided[v] = m.Output()
 		}
 	}
-	sendersHist := e.Metrics.Histogram("engine_round_senders", RoundHistBounds)
-	bitsHist := e.Metrics.Histogram("engine_round_bits", RoundHistBounds)
+	sendersHist := e.Metrics.Histogram("engine_round_senders", RoundHistBounds) //lint:allow hotpathalloc setup-phase registry lookup, amortized across the run
+	bitsHist := e.Metrics.Histogram("engine_round_bits", RoundHistBounds)       //lint:allow hotpathalloc setup-phase registry lookup, amortized across the run
 	var fs *faultState
 	if e.Plan.Enabled() {
-		fs = newFaultState(e.Plan, e.Obs, e.Metrics, n)
+		fs = newFaultState(e.Plan, e.Obs, e.Metrics, n) //lint:allow hotpathalloc setup phase: fault state preallocates its round buffers
 	}
 
 	for r := 1; r <= maxRounds; r++ {
@@ -151,7 +155,7 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		for v := 0; v < n; v++ {
 			if actions[v] == Send {
 				if outgoing[v].NBits > budget {
-					return nil, budgetError(v, r, outgoing[v].NBits, budget)
+					return nil, budgetError(v, r, outgoing[v].NBits, budget) //lint:allow hotpathalloc error path terminates the run
 				}
 				roundSenders++
 				roundBits += outgoing[v].NBits
@@ -166,12 +170,12 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		bitsHist.Observe(int64(roundBits))
 
 		// Phase 2: the adversary fixes the topology knowing the actions.
-		g := e.Adv.Topology(r, actions)
+		g := e.Adv.Topology(r, actions) //lint:allow hotpathalloc adversaries own their per-round topology allocation budget
 		if g == nil || g.N() != n {
-			return nil, fmt.Errorf("dynet: adversary returned topology over %v nodes, want %d", gN(g), n)
+			return nil, fmt.Errorf("dynet: adversary returned topology over %v nodes, want %d", gN(g), n) //lint:allow hotpathalloc error path terminates the run
 		}
 		if e.CheckConnectivity && !g.ConnectedInto(dist, queue) {
-			return nil, fmt.Errorf("dynet: adversary returned disconnected topology in round %d", r)
+			return nil, fmt.Errorf("dynet: adversary returned disconnected topology in round %d", r) //lint:allow hotpathalloc error path terminates the run
 		}
 		if fs != nil && fs.edgeFaults {
 			// The adversary met its connectivity obligation above; the
@@ -188,7 +192,7 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		e.deliver(r, actions, inboxes, workers, down)
 
 		if e.Trace != nil {
-			e.Trace.record(r, g, actions, outgoing)
+			e.Trace.record(r, g, actions, outgoing) //lint:allow hotpathalloc tracing is opt-in; the Cloner amortizes via arenas
 		}
 
 		if observing {
@@ -210,8 +214,8 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		}
 	}
 
-	res.Outputs = make([]int64, n)
-	res.Decided = make([]bool, n)
+	res.Outputs = make([]int64, n) //lint:allow hotpathalloc post-loop result assembly
+	res.Decided = make([]bool, n)  //lint:allow hotpathalloc post-loop result assembly
 	for v, m := range e.Machines {
 		res.Outputs[v], res.Decided[v] = m.Output()
 	}
@@ -222,9 +226,9 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		res.Done = terminated(e.Machines)
 	}
 	if e.Metrics != nil {
-		e.Metrics.Counter("engine_rounds_total").Add(int64(res.Rounds))
-		e.Metrics.Counter("engine_messages_total").Add(int64(res.Messages))
-		e.Metrics.Counter("engine_bits_total").Add(int64(res.Bits))
+		e.Metrics.Counter("engine_rounds_total").Add(int64(res.Rounds))     //lint:allow hotpathalloc post-loop metrics flush
+		e.Metrics.Counter("engine_messages_total").Add(int64(res.Messages)) //lint:allow hotpathalloc post-loop metrics flush
+		e.Metrics.Counter("engine_bits_total").Add(int64(res.Bits))         //lint:allow hotpathalloc post-loop metrics flush
 	}
 	return res, nil
 }
@@ -263,6 +267,8 @@ func NodeDecided(v int) func([]Machine) bool {
 // nodes: their machines are not stepped (a crash freezes state) and they
 // commit to a silent Receive so the adversary and the accounting see no
 // send from them.
+//
+//lint:hotpath
 func (e *Engine) step(r int, actions []Action, outgoing []Message, workers int, down []bool) {
 	n := len(e.Machines)
 	if workers <= 1 {
@@ -271,17 +277,17 @@ func (e *Engine) step(r int, actions []Action, outgoing []Message, workers int, 
 				actions[v], outgoing[v] = Receive, Message{}
 				continue
 			}
-			actions[v], outgoing[v] = e.Machines[v].Step(r)
+			actions[v], outgoing[v] = e.Machines[v].Step(r) //lint:allow hotpathalloc machines own their per-step allocation budget (pinned by AllocsPerRun tests)
 			outgoing[v].From = v
 		}
 		return
 	}
-	parallelFor(n, workers, func(v int) {
+	parallelFor(n, workers, func(v int) { //lint:allow hotpathalloc parallel path trades goroutine allocations for wall clock; sequential path is the zero-alloc baseline
 		if down != nil && down[v] {
 			actions[v], outgoing[v] = Receive, Message{}
 			return
 		}
-		actions[v], outgoing[v] = e.Machines[v].Step(r)
+		actions[v], outgoing[v] = e.Machines[v].Step(r) //lint:allow hotpathalloc machines own their per-step allocation budget (pinned by AllocsPerRun tests)
 		outgoing[v].From = v
 	})
 }
@@ -325,19 +331,21 @@ func sortByFrom(msgs []Message) {
 
 // deliver hands each receiving node its inbox. down, when non-nil, marks
 // crashed nodes, which are skipped: a crashed node hears nothing.
+//
+//lint:hotpath
 func (e *Engine) deliver(r int, actions []Action, inboxes [][]Message, workers int, down []bool) {
 	n := len(e.Machines)
 	if workers <= 1 {
 		for v := 0; v < n; v++ {
 			if actions[v] == Receive && !(down != nil && down[v]) {
-				e.Machines[v].Deliver(r, inboxes[v])
+				e.Machines[v].Deliver(r, inboxes[v]) //lint:allow hotpathalloc machines own their per-step allocation budget (pinned by AllocsPerRun tests)
 			}
 		}
 		return
 	}
-	parallelFor(n, workers, func(v int) {
+	parallelFor(n, workers, func(v int) { //lint:allow hotpathalloc parallel path trades goroutine allocations for wall clock; sequential path is the zero-alloc baseline
 		if actions[v] == Receive && !(down != nil && down[v]) {
-			e.Machines[v].Deliver(r, inboxes[v])
+			e.Machines[v].Deliver(r, inboxes[v]) //lint:allow hotpathalloc machines own their per-step allocation budget (pinned by AllocsPerRun tests)
 		}
 	})
 }

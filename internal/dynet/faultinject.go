@@ -165,7 +165,7 @@ func (fs *faultState) collect(r int, g *graph.Graph, actions []Action, outgoing 
 // stays intact. Corruption is rare, so the copy allocates per fault
 // rather than complicating the engine's arena story.
 func corruptCopy(msg Message, bit int) Message {
-	p := append([]byte(nil), msg.Payload...)
+	p := append([]byte(nil), msg.Payload...) //lint:allow hotpathalloc corruption is rare; the copy is the documented per-fault cost
 	if byteIdx := bit / 8; byteIdx < len(p) {
 		p[byteIdx] ^= 1 << uint(bit%8)
 	}

@@ -260,7 +260,7 @@ func (p *Plan) Down(r, v int) bool {
 	}
 	nw := &p.nodes[v]
 	if nw.src == nil {
-		nw.src = p.root.Split('c', uint64(v))
+		nw.src = p.root.Split('c', uint64(v)) //lint:allow hotpathalloc lazy one-time per-node coin source
 	}
 	for nw.next <= r {
 		up := geometric(nw.src, p.spec.Crash)
@@ -269,13 +269,13 @@ func (p *Plan) Down(r, v int) bool {
 		nw.wins = append(nw.wins, window{from: from, until: from + down - 1})
 		nw.next = from + down
 	}
-	i := sort.Search(len(nw.wins), func(i int) bool { return nw.wins[i].until >= r })
+	i := sort.Search(len(nw.wins), func(i int) bool { return nw.wins[i].until >= r }) //lint:allow hotpathalloc non-escaping sort.Search predicate stays on the stack
 	return i < len(nw.wins) && nw.wins[i].from <= r
 }
 
 // scheduledDown checks the explicit outage windows (sorted by node, from).
 func (p *Plan) scheduledDown(r, v int) bool {
-	i := sort.Search(len(p.outages), func(i int) bool {
+	i := sort.Search(len(p.outages), func(i int) bool { //lint:allow hotpathalloc non-escaping sort.Search predicate stays on the stack
 		o := p.outages[i]
 		return o.Node > v || (o.Node == v && o.Until >= r)
 	})
@@ -323,7 +323,7 @@ func (p *Plan) Delivery(r, from, to, nbits int) Delivery {
 	if !p.HasDeliveryFaults() {
 		return d
 	}
-	s := p.root.Split('d', uint64(r), uint64(from), uint64(to))
+	s := p.root.Split('d', uint64(r), uint64(from), uint64(to)) //lint:allow hotpathalloc stateless per-delivery coin: replayability is worth one short-lived Source
 	if s.Prob(p.spec.Drop) {
 		d.Drop = true
 		return d
@@ -346,5 +346,5 @@ func (p *Plan) CutEdge(r, u, v int) bool {
 	if v < u {
 		u, v = v, u
 	}
-	return p.root.Split('e', uint64(r), uint64(u), uint64(v)).Prob(p.spec.EdgeCut)
+	return p.root.Split('e', uint64(r), uint64(u), uint64(v)).Prob(p.spec.EdgeCut) //lint:allow hotpathalloc stateless per-edge coin: replayability is worth one short-lived Source
 }

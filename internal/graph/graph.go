@@ -191,14 +191,14 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) CopyFrom(src *Graph) {
 	need := 2 * src.m
 	if cap(g.mem) < need {
-		g.mem = make([]int32, need)
+		g.mem = make([]int32, need) //lint:allow hotpathalloc capacity growth only; steady state reuses the arena
 	}
 	g.mem = g.mem[:need]
 	if len(g.adj) != src.n {
 		if cap(g.adj) >= src.n {
 			g.adj = g.adj[:src.n]
 		} else {
-			g.adj = make([][]int32, src.n)
+			g.adj = make([][]int32, src.n) //lint:allow hotpathalloc capacity growth only; steady state reuses the headers
 		}
 	}
 	o := 0
@@ -244,6 +244,8 @@ func Union(g, h *Graph) *Graph {
 // using queue as scratch; both must have length g.N(). It performs no
 // allocations and returns the number of reached vertices. Vertices are
 // visited in deterministic ascending-neighbor order.
+//
+//lint:hotpath
 func (g *Graph) BFSInto(src int, dist []int32, queue []int32) int {
 	g.check(src)
 	for i := range dist {

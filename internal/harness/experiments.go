@@ -68,6 +68,8 @@ type GapRow struct {
 // GapTable produces the E4 table: CFLOOD cost with known vs unknown
 // diameter over a low-diameter dynamic network family, next to the
 // Ω((N/log N)^¼) lower-bound curve for the unknown case.
+//
+//lint:pure
 func GapTable(sizes []int, targetDiam int, seed uint64) ([]GapRow, error) {
 	rows := make([]GapRow, len(sizes))
 	err := forEachCell(len(sizes), func(i int, reg *obs.Registry) error {
@@ -151,6 +153,8 @@ type LeaderRow struct {
 // LeaderSweep measures the Section 7 protocol across sizes on a
 // low-diameter dynamic family, with N' skewed by nprimeFactor (e.g. 0.85)
 // under margin cPermille.
+//
+//lint:pure
 func LeaderSweep(sizes []int, targetDiam int, nprimeFactor float64, cPermille int64, seed uint64) ([]LeaderRow, error) {
 	rows := make([]LeaderRow, len(sizes))
 	err := forEachCell(len(sizes), func(i int, reg *obs.Registry) error {
@@ -232,6 +236,8 @@ type EstimateRow struct {
 // EstimateSweep measures EstimateN accuracy across sizes and copy counts
 // on a low-diameter dynamic family (E5: obtaining N' with known D in
 // O(log N) flooding rounds).
+//
+//lint:pure
 func EstimateSweep(sizes, ks []int, targetDiam int, seed uint64) ([]EstimateRow, error) {
 	rows := make([]EstimateRow, len(sizes)*len(ks))
 	err := forEachCell(len(rows), func(i int, reg *obs.Registry) error {
@@ -299,6 +305,8 @@ type MajorityRow struct {
 
 // MajoritySweep measures the one-sided majority counter (E6) across holder
 // fractions.
+//
+//lint:pure
 func MajoritySweep(n int, fracs []float64, targetDiam int, seed uint64) ([]MajorityRow, error) {
 	d, err := MeasureDynamicDiameter(
 		adversaries.BoundedDiameter(n, targetDiam, n/2, seed), n, 6*targetDiam+60)
@@ -365,6 +373,8 @@ type ConsensusGapRow struct {
 }
 
 // ConsensusGap runs consensus.KnownD and consensus.ViaLeader side by side.
+//
+//lint:pure
 func ConsensusGap(sizes []int, targetDiam int, seed uint64) ([]ConsensusGapRow, error) {
 	rows := make([]ConsensusGapRow, len(sizes))
 	err := forEachCell(len(sizes), func(i int, reg *obs.Registry) error {

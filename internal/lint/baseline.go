@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Baseline support: a ratchet file of known findings. A baselined finding
+// is filtered from the current run's output, so a legacy tree can adopt a
+// new rule without a flag day while CI still fails on anything new.
+//
+// Keys deliberately omit line numbers — "relpath:rule: message" — so that
+// unrelated edits shifting a known finding up or down the file do not
+// break the ratchet. The baseline is a multiset: two identical findings
+// in the tree need two baseline entries, and fixing one of them shrinks
+// the budget for the other.
+
+// baselineFile is the on-disk JSON shape.
+type baselineFile struct {
+	// Version guards future format changes.
+	Version int `json:"version"`
+	// Findings maps baseline keys to their allowed multiplicity.
+	Findings map[string]int `json:"findings"`
+}
+
+// baselineKey renders the line-number-free identity of a finding.
+func baselineKey(root string, f Finding) string {
+	return relURI(root, f.Pos.Filename) + ":" + f.Rule + ": " + f.Message
+}
+
+// WriteBaseline writes the findings as a baseline file at path. Keys are
+// sorted by the JSON marshaller, so output is deterministic.
+func WriteBaseline(path, root string, findings []Finding) error {
+	bf := baselineFile{Version: 1, Findings: map[string]int{}}
+	for _, f := range findings {
+		bf.Findings[baselineKey(root, f)]++
+	}
+	out, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// FilterBaseline removes findings covered by the baseline at path,
+// honoring multiplicity: n baseline entries absorb the first n matching
+// findings in sorted order. Returns the surviving findings.
+func FilterBaseline(path, root string, findings []Finding) ([]Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, err
+	}
+	budget := map[string]int{}
+	for k, n := range bf.Findings {
+		budget[k] = n
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey(root, f)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

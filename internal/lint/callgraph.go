@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CallGraph is a conservative, type-resolved call graph over every
+// function with a body in the loaded module packages. Edges cover:
+//
+//   - direct calls to package-level functions,
+//   - method calls with a statically known (concrete) receiver,
+//   - interface method calls, over-approximated as edges to the matching
+//     method of every module type whose method set implements the
+//     interface (a call can never silently escape the graph through an
+//     interface — see DESIGN.md for the cost of this over-approximation),
+//   - references that make a function a value (passed, assigned, go/defer,
+//     method values), treated as "may be called from here".
+//
+// Function literals are attributed to their enclosing declared function:
+// calls inside a closure are edges from the function that created it.
+// Calls through arbitrary function *values* (a func-typed variable or
+// field) are the one unresolved case; the reference edges above cover the
+// common pattern where the value was taken in a traversed function.
+type CallGraph struct {
+	fset *token.FileSet
+	// Nodes indexes every module function declaration by its canonical
+	// (generic-origin) types.Func object.
+	Nodes map[*types.Func]*FuncNode
+
+	ordered []*FuncNode
+	named   []*types.Named
+	ifaceMu map[ifaceKey][]*FuncNode
+}
+
+// FuncNode is one function declaration in the call graph.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Annotations holds //lint:<name> markers ("hotpath", "pure") from
+	// the declaration's doc comment.
+	Annotations map[string]bool
+	// Out lists call and reference edges in source order.
+	Out []Edge
+}
+
+// Edge is one call (or function-value reference) site.
+type Edge struct {
+	Site   token.Pos
+	Callee *FuncNode
+}
+
+type ifaceKey struct {
+	iface *types.Interface
+	name  string
+}
+
+// BuildCallGraph constructs the graph over the given packages (typically
+// Module.All()). Packages whose type-check failed completely are skipped;
+// partially checked packages contribute whatever the checker resolved.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Nodes:   map[*types.Func]*FuncNode{},
+		ifaceMu: map[ifaceKey][]*FuncNode{},
+	}
+	for _, pkg := range pkgs {
+		if g.fset == nil {
+			g.fset = pkg.Fset
+		}
+		if pkg.Types != nil {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+					if named, ok := tn.Type().(*types.Named); ok {
+						g.named = append(g.named, named)
+					}
+				}
+			}
+		}
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg, Annotations: declAnnotations(fd)}
+				g.Nodes[obj] = node
+				g.ordered = append(g.ordered, node)
+			}
+		}
+	}
+	for _, node := range g.ordered {
+		g.addEdges(node)
+	}
+	return g
+}
+
+// Annotated returns the nodes carrying //lint:<name> in declaration
+// order (deterministic given the loader's sorted package order).
+func (g *CallGraph) Annotated(name string) []*FuncNode {
+	var out []*FuncNode
+	for _, n := range g.ordered {
+		if n.Annotations[name] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Funcs returns every node in declaration order.
+func (g *CallGraph) Funcs() []*FuncNode { return g.ordered }
+
+// declAnnotations extracts //lint:hotpath and //lint:pure markers from a
+// declaration's doc comment (an optional reason may follow the marker).
+func declAnnotations(fd *ast.FuncDecl) map[string]bool {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out map[string]bool
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		for _, name := range [...]string{"hotpath", "pure"} {
+			if text == "lint:"+name || strings.HasPrefix(text, "lint:"+name+" ") {
+				if out == nil {
+					out = map[string]bool{}
+				}
+				out[name] = true
+			}
+		}
+	}
+	return out
+}
+
+// addEdges walks one function body and records its outgoing edges.
+func (g *CallGraph) addEdges(n *FuncNode) {
+	info := n.Pkg.Info
+	// Pass 1: call expressions. Remember the exact callee identifiers so
+	// the reference pass below does not double-count them.
+	calleeIdents := map[*ast.Ident]bool{}
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			calleeIdents[fun] = true
+			if f, ok := info.Uses[fun].(*types.Func); ok {
+				g.edgeTo(n, call.Pos(), f)
+			}
+		case *ast.SelectorExpr:
+			calleeIdents[fun.Sel] = true
+			g.edgesForSelector(n, fun, call.Pos())
+		}
+		return true
+	})
+	// Pass 2: function-value references (arguments, assignments, go/defer
+	// of named functions, method values/expressions).
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.SelectorExpr:
+			if calleeIdents[x.Sel] {
+				return true
+			}
+			calleeIdents[x.Sel] = true // consume: the generic ident case must not re-add
+			g.edgesForSelector(n, x, x.Pos())
+			return true
+		case *ast.Ident:
+			if calleeIdents[x] {
+				return true
+			}
+			if f, ok := info.Uses[x].(*types.Func); ok {
+				g.edgeTo(n, x.Pos(), f)
+			}
+		}
+		return true
+	})
+}
+
+// edgesForSelector resolves x.M at pos: interface method uses expand to
+// every implementing module type's method; concrete methods and
+// package-qualified functions become direct edges.
+func (g *CallGraph) edgesForSelector(n *FuncNode, sel *ast.SelectorExpr, pos token.Pos) {
+	info := n.Pkg.Info
+	if s, ok := info.Selections[sel]; ok {
+		m, ok := s.Obj().(*types.Func)
+		if !ok {
+			return // func-typed field: dynamic, unresolved
+		}
+		if types.IsInterface(s.Recv()) {
+			iface, ok := s.Recv().Underlying().(*types.Interface)
+			if ok {
+				for _, impl := range g.implementations(iface, m.Name()) {
+					n.Out = append(n.Out, Edge{Site: pos, Callee: impl})
+				}
+			}
+			return
+		}
+		g.edgeTo(n, pos, m)
+		return
+	}
+	// Not a selection: package-qualified function (fmt.Println, graph.New)
+	// or a type conversion (no edge — Uses yields a TypeName).
+	if f, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		g.edgeTo(n, pos, f)
+	}
+}
+
+// edgeTo appends an edge when the callee is a module function with a body.
+func (g *CallGraph) edgeTo(n *FuncNode, pos token.Pos, f *types.Func) {
+	if target, ok := g.Nodes[f.Origin()]; ok {
+		n.Out = append(n.Out, Edge{Site: pos, Callee: target})
+	}
+}
+
+// implementations returns the module methods a call to iface.name may
+// dispatch to, memoized per (interface, method).
+func (g *CallGraph) implementations(iface *types.Interface, name string) []*FuncNode {
+	key := ifaceKey{iface, name}
+	if impls, ok := g.ifaceMu[key]; ok {
+		return impls
+	}
+	var impls []*FuncNode
+	for _, named := range g.named {
+		if types.IsInterface(named) {
+			continue
+		}
+		var recv types.Type = named
+		if !types.Implements(named, iface) {
+			ptr := types.NewPointer(named)
+			if !types.Implements(ptr, iface) {
+				continue
+			}
+			recv = ptr
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), name)
+		if m, ok := obj.(*types.Func); ok {
+			if target, ok := g.Nodes[m.Origin()]; ok {
+				impls = append(impls, target)
+			}
+		}
+	}
+	g.ifaceMu[key] = impls
+	return impls
+}
+
+// reachResult is the pruned reachable set of one interprocedural
+// traversal, with BFS parents for diagnostic call paths.
+type reachResult struct {
+	order []*FuncNode
+	via   map[*FuncNode]*FuncNode
+}
+
+// reachFrom computes the functions reachable from roots, consulting the
+// pass's //lint:allow directives at every call site: an allow for the
+// running rule on a call-site line prunes the edges leaving that line
+// (and is thereby marked used).
+func reachFrom(mp *ModulePass, roots []*FuncNode) *reachResult {
+	res := &reachResult{via: map[*FuncNode]*FuncNode{}}
+	seen := map[*FuncNode]bool{}
+	var queue []*FuncNode
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			res.via[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		n := queue[i]
+		res.order = append(res.order, n)
+		for _, e := range n.Out {
+			if seen[e.Callee] {
+				continue
+			}
+			if mp.EdgeAllowed(e.Site) {
+				continue
+			}
+			seen[e.Callee] = true
+			res.via[e.Callee] = n
+			queue = append(queue, e.Callee)
+		}
+	}
+	return res
+}
+
+// path renders the root → ... → n call chain for diagnostics.
+func (r *reachResult) path(n *FuncNode) string {
+	var names []string
+	for at := n; at != nil; at = r.via[at] {
+		names = append(names, displayName(at.Obj))
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// displayName renders pkg.Type.Method / pkg.Func for diagnostics.
+func displayName(f *types.Func) string {
+	name := f.Name()
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if pkg := f.Pkg(); pkg != nil {
+		name = pkg.Name() + "." + name
+	}
+	return name
+}

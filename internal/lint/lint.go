@@ -7,18 +7,28 @@
 //
 // The framework deliberately uses only go/parser, go/ast, and go/types —
 // no golang.org/x/tools dependency — so the module stays dependency-free.
-// Analyzers are registered in DefaultAnalyzers and run by cmd/dynlint as
-// well as by this package's own table-driven tests over testdata corpora.
+// Two kinds of rules exist: per-package Analyzers (registered in
+// DefaultAnalyzers) inspect one package at a time, and ModuleAnalyzers
+// (registered in DefaultModuleAnalyzers) run over a whole-module
+// call graph built by LoadModule/RunModule — see callgraph.go,
+// hotpathalloc.go, and puritytaint.go. Both kinds are run by cmd/dynlint
+// as well as by this package's own table-driven tests over testdata
+// corpora.
 //
 // Any finding can be suppressed by a comment
 //
 //	//lint:allow <rule>[,<rule>...] <reason>
 //
-// placed either on the flagged line or on the line directly above it.
-// The first field is one rule name or a comma-separated list (for lines
-// that several strict rules flag at once); the reason is free text but
-// should name the invariant argument (e.g. "callers sort; order
-// documented as unspecified").
+// placed either on the flagged line or, as a standalone comment line, on
+// the line directly above it. A trailing allow (sharing its line with
+// code) suppresses only its own line. The first field is one rule name or
+// a comma-separated list (for lines that several strict rules flag at
+// once); the reason is free text but should name the invariant argument
+// (e.g. "callers sort; order documented as unspecified"). For the
+// interprocedural rules, an allow on a call-site line additionally prunes
+// the call-graph edges leaving that line, so one escape both silences the
+// line and stops reachability through it. The staleallow check reports
+// directives that end up suppressing nothing.
 package lint
 
 import (
@@ -26,6 +36,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
 	"sort"
 	"strings"
 )
@@ -42,9 +53,10 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
 }
 
-// Analyzer is one named rule. Run inspects a loaded package through the
-// Pass and reports findings; Scope decides which import paths the driver
-// applies the rule to (tests bypass Scope and run analyzers directly).
+// Analyzer is one named per-package rule. Run inspects a loaded package
+// through the Pass and reports findings; Scope decides which import paths
+// the driver applies the rule to (tests bypass Scope and run analyzers
+// directly).
 type Analyzer struct {
 	Name  string
 	Doc   string
@@ -60,14 +72,15 @@ type Pass struct {
 	Info  *types.Info
 
 	analyzer *Analyzer
-	allowed  map[string]map[int]bool // filename -> line -> allowed for this rule
+	allows   *allowIndex
 	findings *[]Finding
 }
 
 // Reportf records a finding at pos unless an allow comment suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
-	if p.allowed[position.Filename][position.Line] {
+	if d := p.allows.find(p.analyzer.Name, position.Filename, position.Line); d != nil {
+		d.used = true
 		return
 	}
 	*p.findings = append(*p.findings, Finding{
@@ -99,6 +112,12 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // Run applies one analyzer to a loaded package and returns its findings,
 // already sorted by position.
 func Run(a *Analyzer, pkg *Package) []Finding {
+	return runWith(a, pkg, buildAllowIndex(pkg.Fset, pkg.Files))
+}
+
+// runWith is Run with a caller-supplied allow index, so module-wide runs
+// can share one index (and its usage tracking) across all analyzers.
+func runWith(a *Analyzer, pkg *Package, allows *allowIndex) []Finding {
 	var findings []Finding
 	pass := &Pass{
 		Fset:     pkg.Fset,
@@ -106,7 +125,7 @@ func Run(a *Analyzer, pkg *Package) []Finding {
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
 		analyzer: a,
-		allowed:  allowedLines(pkg.Fset, pkg.Files, a.Name),
+		allows:   allows,
 		findings: &findings,
 	}
 	a.Run(pass)
@@ -117,12 +136,13 @@ func Run(a *Analyzer, pkg *Package) []Finding {
 // RunAll applies every analyzer whose Scope accepts the package's import
 // path.
 func RunAll(analyzers []*Analyzer, pkg *Package) []Finding {
+	allows := buildAllowIndex(pkg.Fset, pkg.Files)
 	var findings []Finding
 	for _, a := range analyzers {
 		if a.Scope != nil && !a.Scope(pkg.Path) {
 			continue
 		}
-		findings = append(findings, Run(a, pkg)...)
+		findings = append(findings, runWith(a, pkg, allows)...)
 	}
 	sortFindings(findings)
 	return findings
@@ -137,20 +157,47 @@ func sortFindings(fs []Finding) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Rule < fs[j].Rule
 	})
 }
 
-// allowedLines scans a package's comments for //lint:allow directives for
-// one rule and returns the per-file set of suppressed lines: the comment's
-// own line and the line directly below it (for standalone comments).
-func allowedLines(fset *token.FileSet, files []*ast.File, rule string) map[string]map[int]bool {
-	out := map[string]map[int]bool{}
+// allowDirective is one parsed //lint:allow comment. used flips when the
+// directive suppresses a finding or prunes a call-graph edge; staleallow
+// reports directives that never fire.
+type allowDirective struct {
+	Rules  []string
+	Reason string
+	File   string
+	Line   int
+	// Standalone marks a comment alone on its source line; only these
+	// extend their suppression to the line directly below. A trailing
+	// allow covers exactly its own line.
+	Standalone bool
+	Pos        token.Pos
+
+	used bool
+}
+
+// allowIndex resolves (rule, file, line) to the directive suppressing it.
+type allowIndex struct {
+	directives []*allowDirective
+	byRule     map[string]map[string]map[int]*allowDirective
+}
+
+// buildAllowIndex scans the files' comments for //lint:allow directives.
+// Standalone-ness is decided from the source text (the line prefix before
+// the comment must be blank); unreadable files fall back to standalone,
+// the historic, broader behavior.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byRule: map[string]map[string]map[int]*allowDirective{}}
+	lineCache := map[string][]string{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				if !strings.HasPrefix(text, "lint:allow") {
 					continue
 				}
@@ -158,30 +205,73 @@ func allowedLines(fset *token.FileSet, files []*ast.File, rule string) map[strin
 				if len(fields) == 0 {
 					continue
 				}
-				named := false
-				for _, name := range strings.Split(fields[0], ",") {
-					if name == rule {
-						named = true
+				pos := fset.Position(c.Pos())
+				d := &allowDirective{
+					Rules:      strings.Split(fields[0], ","),
+					Reason:     strings.Join(fields[1:], " "),
+					File:       pos.Filename,
+					Line:       pos.Line,
+					Standalone: standaloneComment(lineCache, pos),
+					Pos:        c.Pos(),
+				}
+				idx.directives = append(idx.directives, d)
+				for _, rule := range d.Rules {
+					idx.put(rule, d.File, d.Line, d)
+					if d.Standalone {
+						idx.put(rule, d.File, d.Line+1, d)
 					}
 				}
-				if !named {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				m := out[pos.Filename]
-				if m == nil {
-					m = map[int]bool{}
-					out[pos.Filename] = m
-				}
-				m[pos.Line] = true
-				m[pos.Line+1] = true
 			}
 		}
 	}
-	return out
+	return idx
 }
 
-// DefaultAnalyzers returns the full rule set in a stable order.
+func (idx *allowIndex) put(rule, file string, line int, d *allowDirective) {
+	byFile := idx.byRule[rule]
+	if byFile == nil {
+		byFile = map[string]map[int]*allowDirective{}
+		idx.byRule[rule] = byFile
+	}
+	byLine := byFile[file]
+	if byLine == nil {
+		byLine = map[int]*allowDirective{}
+		byFile[file] = byLine
+	}
+	if _, taken := byLine[line]; !taken {
+		byLine[line] = d
+	}
+}
+
+// find returns the directive suppressing rule at file:line, or nil.
+func (idx *allowIndex) find(rule, file string, line int) *allowDirective {
+	if idx == nil {
+		return nil
+	}
+	return idx.byRule[rule][file][line]
+}
+
+// standaloneComment reports whether the comment at pos is alone on its
+// source line (preceded by whitespace only).
+func standaloneComment(cache map[string][]string, pos token.Position) bool {
+	lines, ok := cache[pos.Filename]
+	if !ok {
+		if data, err := os.ReadFile(pos.Filename); err == nil {
+			lines = strings.Split(string(data), "\n")
+		}
+		cache[pos.Filename] = lines
+	}
+	if lines == nil || pos.Line-1 >= len(lines) {
+		return true
+	}
+	prefix := lines[pos.Line-1]
+	if pos.Column-1 <= len(prefix) {
+		prefix = prefix[:pos.Column-1]
+	}
+	return strings.TrimSpace(prefix) == ""
+}
+
+// DefaultAnalyzers returns the per-package rule set in a stable order.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		Determinism,

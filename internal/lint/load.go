@@ -3,20 +3,26 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package directory.
 // Only non-test files are loaded: the invariants the analyzers enforce are
 // about simulation and protocol code, and test files legitimately poke at
 // internals (hand-built payloads, chaos machines, map-literal tables).
+// Files excluded by build constraints (filename GOOS/GOARCH suffixes and
+// //go:build lines) for the loader's own platform are skipped, so a
+// package with per-OS variants type-checks without false redeclarations.
 type Package struct {
 	Path  string // import path ("" if outside a module)
 	Dir   string
@@ -35,13 +41,28 @@ type Package struct {
 // type-checking their source; standard-library imports go through the
 // go/importer source importer (GOROOT/src), so the loader needs neither
 // network access nor pre-built export data.
+//
+// Loads are memoized: the same directory is parsed and type-checked at
+// most once, whether it is loaded explicitly or pulled in as a dependency
+// of another package, and dependency loads produce full *Package values
+// (with type info) usable by module-wide analysis. Parsing may run
+// concurrently (LoadModule pre-parses in parallel); type-checking is
+// intentionally single-goroutine — Load and LoadModule must not be called
+// concurrently with each other.
 type Loader struct {
 	ModRoot string
 	ModPath string
 
 	fset *token.FileSet
 	std  types.Importer
-	pkgs map[string]*types.Package
+
+	mu     sync.Mutex             // guards parsed (the only concurrent map)
+	parsed map[string][]*ast.File // abs dir -> build-tag-filtered non-test files
+
+	full     map[string]*Package       // abs dir -> fully loaded package
+	pkgs     map[string]*types.Package // import path -> type-checked package
+	checking map[string]bool           // import paths mid-check (cycle guard)
+	checks   map[string]int            // import path -> type-check invocations
 }
 
 // NewLoader returns a loader rooted at the module containing dir (or dir
@@ -57,16 +78,49 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		ModRoot: root,
-		ModPath: modPath,
-		fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    map[string]*types.Package{},
+		ModRoot:  root,
+		ModPath:  modPath,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		parsed:   map[string][]*ast.File{},
+		full:     map[string]*Package{},
+		pkgs:     map[string]*types.Package{},
+		checking: map[string]bool{},
+		checks:   map[string]int{},
 	}, nil
 }
 
 // Fset exposes the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// CheckCounts reports how many times each module import path has been
+// type-checked by this loader. The memoizing design guarantees every
+// count is exactly 1, however packages are reached (explicit Load,
+// LoadModule, or as a dependency); the golden loader tests pin this.
+func (l *Loader) CheckCounts() map[string]int {
+	out := make(map[string]int, len(l.checks))
+	for k, v := range l.checks {
+		out[k] = v
+	}
+	return out
+}
+
+// Loaded returns every package this loader has fully loaded — explicit
+// loads and module-internal dependencies alike — sorted by import path
+// (then directory, for out-of-module loads sharing a fallback path).
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.full))
+	for _, p := range l.full {
+		out = append(out, p) //lint:allow maporder sorted by import path below
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}
 
 // ModuleRoot walks upward from dir to the directory holding go.mod.
 func ModuleRoot(dir string) (string, error) {
@@ -150,8 +204,82 @@ func PackageDirs(root string) ([]string, error) {
 	return dirs, nil
 }
 
-// Load parses and type-checks the package in dir.
+// Load parses and type-checks the package in dir. Loads are memoized:
+// calling Load twice on one directory returns the identical *Package, and
+// a package already loaded as a dependency is reused, not re-checked.
 func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(abs)
+}
+
+// LoadModule loads every package directory in dirs — parsing in parallel,
+// then type-checking each package (and every module-internal dependency
+// it pulls in) exactly once through the memoizing loader — and returns
+// the whole-module view RunModule analyzes.
+func (l *Loader) LoadModule(dirs []string) (*Module, error) {
+	sorted := make([]string, 0, len(dirs))
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			sorted = append(sorted, abs)
+		}
+	}
+	sort.Strings(sorted)
+	l.parseAhead(sorted)
+	pkgs := make([]*Package, 0, len(sorted))
+	for _, d := range sorted {
+		pkg, err := l.loadDir(d)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return &Module{Loader: l, Pkgs: pkgs}, nil
+}
+
+// parseAhead warms the parse cache for dirs across GOMAXPROCS goroutines.
+// Parse errors are swallowed here; the sequential load path re-parses the
+// failing directory and reports them.
+func (l *Loader) parseAhead(dirs []string) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers <= 1 {
+		return
+	}
+	ch := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range ch {
+				// Cache warm-up only: errors resurface on the sequential path.
+				_, _ = l.parseDir(d)
+			}
+		}()
+	}
+	for _, d := range dirs {
+		ch <- d
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// loadDir is the memoized load body; dir must be absolute.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	if p, ok := l.full[dir]; ok {
+		return p, nil
+	}
 	files, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
@@ -160,6 +288,7 @@ func (l *Loader) Load(dir string) (*Package, error) {
 		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
 	}
 	path, err := l.ImportPath(dir)
+	inModule := err == nil
 	if err != nil {
 		path = filepath.Base(dir) // outside a module: lint syntactically
 	}
@@ -179,36 +308,151 @@ func (l *Loader) Load(dir string) (*Package, error) {
 		Importer: (*loaderImporter)(l),
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
+	l.checking[path] = true
+	l.checks[path]++
 	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info) // errors collected above
+	delete(l.checking, path)
 	pkg.Types = tpkg
+	l.full[dir] = pkg
+	if inModule && tpkg != nil {
+		l.pkgs[path] = tpkg
+	}
 	return pkg, nil
 }
 
+// parseDir parses dir's non-test Go files, applying build constraints for
+// the loader's own GOOS/GOARCH. Results are cached, and the cache is the
+// only loader state shared with parseAhead's parallel workers.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
-	ents, err := os.ReadDir(dir)
+	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	l.mu.Lock()
+	files, ok := l.parsed[abs]
+	l.mu.Unlock()
+	if ok {
+		return files, nil
+	}
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	files = nil
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if !fileTargetOK(name) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
+		if !buildTagOK(f) {
+			continue
+		}
 		files = append(files, f)
 	}
+	l.mu.Lock()
+	if cached, ok := l.parsed[abs]; ok {
+		files = cached // a parallel worker won the race; keep one canonical slice
+	} else {
+		l.parsed[abs] = files
+	}
+	l.mu.Unlock()
 	return files, nil
 }
 
+// knownOS and knownArch are the GOOS/GOARCH values recognized in filename
+// build constraints (name_GOOS.go, name_GOARCH.go, name_GOOS_GOARCH.go).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixOS mirrors the platforms matched by the "unix" build tag.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// fileTargetOK applies go/build's filename constraint rule: a file named
+// name_GOOS.go, name_GOARCH.go, or name_GOOS_GOARCH.go (with a nonempty
+// name) only builds on that target.
+func fileTargetOK(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) >= 2 && parts[0] != "" {
+		last := parts[len(parts)-1]
+		if knownArch[last] {
+			if last != runtime.GOARCH {
+				return false
+			}
+			parts = parts[:len(parts)-1]
+		}
+	}
+	if len(parts) >= 2 && parts[0] != "" {
+		last := parts[len(parts)-1]
+		if knownOS[last] && last != runtime.GOOS {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTagOK evaluates the file's //go:build line (if any, before the
+// package clause) against the loader's own platform: GOOS, GOARCH, "gc",
+// "unix", and any go1.N language-version tag are satisfied; everything
+// else ("ignore", custom tags) excludes the file.
+func buildTagOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				switch {
+				case tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc":
+					return true
+				case tag == "unix":
+					return unixOS[runtime.GOOS]
+				case strings.HasPrefix(tag, "go1"):
+					return true
+				}
+				return false
+			})
+		}
+	}
+	return true
+}
+
 // loaderImporter adapts Loader to types.Importer. Module-internal paths
-// are type-checked from source and memoized; everything else is delegated
-// to the standard-library source importer. Failures yield an empty
-// placeholder package so that type-checking of the importer's client can
-// continue (lenient mode).
+// are loaded through the loader's own full, memoized load (so dependency
+// packages carry complete type info for module-wide analysis); everything
+// else is delegated to the standard-library source importer. Failures
+// yield an empty placeholder package so that type-checking of the
+// importer's client can continue (lenient mode).
 type loaderImporter Loader
 
 func (li *loaderImporter) Import(path string) (*types.Package, error) {
@@ -216,19 +460,20 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
 	}
+	if l.checking[path] {
+		// Import cycle: hand back an empty package and let the checker
+		// report the cycle as a (lenient) type error.
+		pkg := types.NewPackage(path, filepath.Base(path))
+		pkg.MarkComplete()
+		return pkg, nil
+	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")))
-		files, err := l.parseDir(dir)
-		if err != nil || len(files) == 0 {
+		pkg, err := l.loadDir(dir)
+		if err != nil || pkg.Types == nil {
 			return li.placeholder(path), nil
 		}
-		conf := types.Config{Importer: li, Error: func(error) {}}
-		pkg, _ := conf.Check(path, l.fset, files, nil)
-		if pkg == nil {
-			return li.placeholder(path), nil
-		}
-		l.pkgs[path] = pkg
-		return pkg, nil
+		return pkg.Types, nil
 	}
 	pkg, err := l.std.Import(path)
 	if err != nil || pkg == nil {

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBuildConstraintFiltering: the loader must drop files excluded by
+// filename suffixes (_plan9.go) and //go:build lines, or the buildtag
+// fixture redeclares its symbols and fails to type-check.
+func TestBuildConstraintFiltering(t *testing.T) {
+	pkg := loadCorpus(t, "buildtag") // loadCorpus fails on any type error
+	if len(pkg.Files) != 1 {
+		var names []string
+		for _, f := range pkg.Files {
+			names = append(names, filepath.Base(pkg.Fset.Position(f.Pos()).Filename))
+		}
+		t.Errorf("got %d files (%v), want only buildtag.go", len(pkg.Files), names)
+	}
+}
+
+// TestLenientTypeErrors: a package with a type error still loads, keeps
+// the diagnostics, and carries partial type info usable by analyzers.
+func TestLenientTypeErrors(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", "src", "typeerr"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Error("expected type errors from the typeerr fixture")
+	}
+	found := false
+	for _, e := range pkg.TypeErrors {
+		if strings.Contains(e.Error(), "undefinedIdentifier") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("type errors do not mention undefinedIdentifier: %v", pkg.TypeErrors)
+	}
+	if pkg.Types == nil {
+		t.Fatal("lenient load must still produce a types.Package")
+	}
+	// Analyzers must not panic on partial info.
+	for _, a := range DefaultAnalyzers() {
+		_ = Run(a, pkg)
+	}
+}
+
+// TestLoadMemoized: loading the same directory twice returns the
+// identical *Package, not a re-checked copy.
+func TestLoadMemoized(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", "allow")
+	p1, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Load is not memoized: two loads of one dir returned distinct packages")
+	}
+}
+
+// TestLoadModuleChecksOnce is the counting-importer golden test: after
+// LoadModule over every corpus-module directory, each package — whether
+// reached as an explicit target or as a dependency of hot/machine — has
+// been type-checked exactly once.
+func TestLoadModuleChecksOnce(t *testing.T) {
+	mod := corpusModule(t)
+	counts := mod.Loader.CheckCounts()
+	wantPaths := []string{
+		"corpusmod/hot", "corpusmod/hotmid", "corpusmod/hotleaf",
+		"corpusmod/machine", "corpusmod/mhelp", "corpusmod/mclock",
+	}
+	for _, path := range wantPaths {
+		if got := counts[path]; got != 1 {
+			t.Errorf("%s type-checked %d times, want exactly 1", path, got)
+		}
+	}
+	if len(counts) != len(wantPaths) {
+		t.Errorf("loader checked %d packages (%v), want %d", len(counts), counts, len(wantPaths))
+	}
+	// All six are fully loaded with type info, dependencies included.
+	if got := len(mod.All()); got != len(wantPaths) {
+		t.Errorf("Loaded() returned %d packages, want %d", got, len(wantPaths))
+	}
+	for _, pkg := range mod.All() {
+		if pkg.Info == nil || pkg.Types == nil {
+			t.Errorf("package %s loaded without full type info", pkg.Path)
+		}
+	}
+}
+
+// TestFileTargetOK pins the filename-constraint rules.
+func TestFileTargetOK(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"plain.go", true},
+		{"x_plan9.go", false},
+		{"x_windows_arm64.go", false},
+		{"plan9.go", true}, // no prefix: not a constraint
+	}
+	for _, c := range cases {
+		if got := fileTargetOK(c.name); got != c.want {
+			t.Errorf("fileTargetOK(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// Module is a whole-module view: the packages explicitly selected for
+// linting plus — through the shared memoizing Loader — every
+// module-internal dependency they pulled in.
+type Module struct {
+	Loader *Loader
+	// Pkgs are the selected (pattern-matched) packages, sorted by
+	// directory; per-package analyzers run on exactly these.
+	Pkgs []*Package
+}
+
+// All returns every module package the loader has fully loaded —
+// selected packages and their module-internal dependencies — sorted.
+// Module analyzers build the call graph over this set, so reachability
+// does not stop at pattern boundaries.
+func (m *Module) All() []*Package { return m.Loader.Loaded() }
+
+// ModuleAnalyzer is one named whole-module rule: it sees every loaded
+// package and the call graph at once, which is what makes the
+// interprocedural rules (hotpathalloc, puritytaint) able to catch a
+// violation introduced several calls deep across package boundaries.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass)
+}
+
+// ModulePass hands a module analyzer the loaded module, the shared call
+// graph, and a reporting sink with allow-directive integration.
+type ModulePass struct {
+	Mod   *Module
+	Graph *CallGraph
+
+	analyzer *ModuleAnalyzer
+	allows   *allowIndex
+	findings *[]Finding
+}
+
+// Fset returns the module's shared file set.
+func (mp *ModulePass) Fset() *token.FileSet { return mp.Mod.Loader.Fset() }
+
+// Reportf records a finding at pos unless an allow comment suppresses it.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := mp.Fset().Position(pos)
+	if d := mp.allows.find(mp.analyzer.Name, position.Filename, position.Line); d != nil {
+		d.used = true
+		return
+	}
+	*mp.findings = append(*mp.findings, Finding{
+		Pos:     position,
+		Rule:    mp.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// EdgeAllowed reports whether a //lint:allow <rule> on the call-site line
+// suppresses traversal through it, marking the directive used. One allow
+// therefore both silences findings on its line and prunes the
+// reachability paths through it — the documented escape for interface
+// over-approximation (e.g. the engine's Machine.Step dispatch, whose
+// implementations are measured by their own rules instead).
+func (mp *ModulePass) EdgeAllowed(site token.Pos) bool {
+	position := mp.Fset().Position(site)
+	if d := mp.allows.find(mp.analyzer.Name, position.Filename, position.Line); d != nil {
+		d.used = true
+		return true
+	}
+	return false
+}
+
+// DefaultModuleAnalyzers returns the whole-module rule set in a stable
+// order.
+func DefaultModuleAnalyzers() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{
+		HotPathAlloc,
+		PurityTaint,
+	}
+}
+
+// StaleAllowName is the rule name of the stale-directive check run by
+// RunModule after all other analyzers.
+const StaleAllowName = "staleallow"
+
+// staleAllowDoc describes the check for rule listings.
+const staleAllowDoc = "report //lint:allow directives that suppress no finding and prune no path " +
+	"(and directives naming unknown rules), so escapes cannot rot silently"
+
+// RuleInfo names one rule for listings and SARIF metadata.
+type RuleInfo struct {
+	Name string
+	Doc  string
+}
+
+// AllRules enumerates the full rule set (per-package, module-wide, and
+// staleallow) in a stable order.
+func AllRules(analyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer) []RuleInfo {
+	var out []RuleInfo
+	for _, a := range analyzers {
+		out = append(out, RuleInfo{a.Name, a.Doc})
+	}
+	for _, ma := range modAnalyzers {
+		out = append(out, RuleInfo{ma.Name, ma.Doc})
+	}
+	out = append(out, RuleInfo{StaleAllowName, staleAllowDoc})
+	return out
+}
+
+// ModuleRunOptions tunes one RunModule invocation.
+type ModuleRunOptions struct {
+	// Rules restricts which rules run (nil or empty = all). The
+	// staleallow check participates: it runs only when selected, and a
+	// directive is reported stale only if every rule it names actually
+	// ran, so subset runs never misreport another rule's escapes.
+	Rules map[string]bool
+}
+
+// RunModule applies per-package analyzers to each selected package and
+// module analyzers to the whole module (loading-wise: every package was
+// type-checked exactly once by LoadModule), then reports stale allow
+// directives. One allow index spans all loaded packages, so a suppression
+// consulted by any analyzer — including edge pruning — counts as use.
+func RunModule(mod *Module, analyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer, opts ModuleRunOptions) []Finding {
+	sel := func(name string) bool { return len(opts.Rules) == 0 || opts.Rules[name] }
+
+	all := mod.All()
+	fset := mod.Loader.Fset()
+	idx := newModuleAllowIndex(fset, all)
+
+	var findings []Finding
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		if !sel(a.Name) {
+			continue
+		}
+		ran[a.Name] = true
+		for _, pkg := range mod.Pkgs {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a,
+				allows:   idx,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+
+	var graph *CallGraph
+	for _, ma := range modAnalyzers {
+		if !sel(ma.Name) {
+			continue
+		}
+		ran[ma.Name] = true
+		if graph == nil {
+			graph = BuildCallGraph(all)
+		}
+		mp := &ModulePass{
+			Mod:      mod,
+			Graph:    graph,
+			analyzer: ma,
+			allows:   idx,
+			findings: &findings,
+		}
+		ma.Run(mp)
+	}
+
+	if sel(StaleAllowName) {
+		known := map[string]bool{StaleAllowName: true}
+		for _, r := range AllRules(analyzers, modAnalyzers) {
+			known[r.Name] = true
+		}
+		modRules := map[string]bool{}
+		for _, ma := range modAnalyzers {
+			modRules[ma.Name] = true
+		}
+		findings = append(findings, staleAllows(mod, idx, ran, known, modRules)...)
+	}
+
+	sortFindings(findings)
+	return findings
+}
+
+// newModuleAllowIndex builds one allow index over every loaded package's
+// files, so directives anywhere in the module are honored (and tracked)
+// no matter which analyzer or traversal consults them.
+func newModuleAllowIndex(fset *token.FileSet, pkgs []*Package) *allowIndex {
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	return buildAllowIndex(fset, files)
+}
+
+// staleAllows reports //lint:allow directives in the selected packages
+// that fired for no finding and pruned no path. A directive is stale only
+// when every rule it names ran in this invocation, and — for directives
+// naming an interprocedural rule — only when the selection covers the
+// whole module: a hotpathalloc allow deep in a leaf package may be used
+// exclusively through a //lint:hotpath root in a package outside a
+// partial selection, so partial runs cannot tell "stale" from "used
+// elsewhere". Directives naming unknown rules are always reported (a
+// typo leaves the line unprotected).
+func staleAllows(mod *Module, idx *allowIndex, ran, known, modRules map[string]bool) []Finding {
+	wholeModule := coversWholeModule(mod)
+	selected := map[string]bool{}
+	fset := mod.Loader.Fset()
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			selected[fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	var out []Finding
+	report := func(d *allowDirective, format string, args ...interface{}) {
+		if s := idx.find(StaleAllowName, d.File, d.Line); s != nil && s != d {
+			s.used = true
+			return
+		}
+		out = append(out, Finding{
+			Pos:     fset.Position(d.Pos),
+			Rule:    StaleAllowName,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range idx.directives {
+		if !selected[d.File] {
+			continue
+		}
+		unknown := ""
+		allRan := true
+		needsWholeModule := false
+		for _, r := range d.Rules {
+			if !known[r] {
+				unknown = r
+			}
+			if !ran[r] {
+				allRan = false
+			}
+			if modRules[r] {
+				needsWholeModule = true
+			}
+		}
+		if unknown != "" {
+			report(d, "//lint:allow names unknown rule %q (typo leaves this line unprotected)", unknown)
+			continue
+		}
+		if d.used || !allRan || (needsWholeModule && !wholeModule) {
+			continue
+		}
+		report(d, "//lint:allow %s suppresses no finding and prunes no path: delete the stale escape (reason was %q)", strings.Join(d.Rules, ","), d.Reason)
+	}
+	return out
+}
+
+// coversWholeModule reports whether the selected packages span every
+// package directory in the module (the same walk the driver uses to
+// expand "./..."). Only then does the call graph contain every possible
+// //lint:hotpath or Machine root, which is what judging an
+// interprocedural allow as stale requires.
+func coversWholeModule(mod *Module) bool {
+	dirs, err := PackageDirs(mod.Loader.ModRoot)
+	if err != nil {
+		return false
+	}
+	have := map[string]bool{}
+	for _, pkg := range mod.Pkgs {
+		have[filepath.Clean(pkg.Dir)] = true
+	}
+	for _, d := range dirs {
+		if !have[filepath.Clean(d)] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sarifFixture() (string, []RuleInfo, []Finding) {
+	root := string(filepath.Separator) + "mod"
+	rules := []RuleInfo{
+		{Name: "hotpathalloc", Doc: "hot paths must be allocation-free"},
+		{Name: "puritytaint", Doc: "machine steps must be deterministic"},
+	}
+	findings := []Finding{
+		{
+			Pos:     token.Position{Filename: filepath.Join(root, "internal", "graph", "graph.go"), Line: 12, Column: 7},
+			Rule:    "hotpathalloc",
+			Message: "make allocates on the hot path",
+		},
+		{
+			Pos:     token.Position{Filename: filepath.Join(root, "internal", "dynet", "engine.go"), Line: 40, Column: 3},
+			Rule:    "puritytaint",
+			Message: "time.Now reads the wall clock",
+		},
+	}
+	return root, rules, findings
+}
+
+// TestSARIFGolden pins the exact SARIF 2.1.0 bytes: schema URI, version,
+// rule metadata, error level, and module-relative slash-separated
+// artifact URIs.
+func TestSARIFGolden(t *testing.T) {
+	root, rules, findings := sarifFixture()
+	got, err := SARIF(root, rules, findings)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden.sarif")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (regenerate by writing the got bytes)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("SARIF output drifted from %s\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestSARIFShape checks structural invariants independent of the golden
+// bytes: valid JSON, one run, results resolve to rules, and a clean run
+// still marshals results as an empty array (required by upload tooling).
+func TestSARIFShape(t *testing.T) {
+	root, rules, findings := sarifFixture()
+	out, err := SARIF(root, rules, findings)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q with %d runs, want 2.1.0 with 1 run", log.Version, len(log.Runs))
+	}
+	known := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		known[r.ID] = true
+	}
+	for _, res := range log.Runs[0].Results {
+		if !known[res.RuleID] {
+			t.Errorf("result rule %q missing from driver rule metadata", res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("result level %q, want error", res.Level)
+		}
+		uri := res.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		if filepath.IsAbs(uri) {
+			t.Errorf("artifact URI %q should be module-relative", uri)
+		}
+	}
+
+	clean, err := SARIF(root, rules, nil)
+	if err != nil {
+		t.Fatalf("SARIF(clean): %v", err)
+	}
+	var raw map[string]interface{}
+	if err := json.Unmarshal(clean, &raw); err != nil {
+		t.Fatal(err)
+	}
+	results := raw["runs"].([]interface{})[0].(map[string]interface{})["results"]
+	if _, ok := results.([]interface{}); !ok {
+		t.Errorf("clean run results marshal as %T, want empty array", results)
+	}
+}
+
+// TestBaselineRoundTrip: a written baseline filters exactly the findings
+// it recorded (line-number-free multiset keys), so a shifted line still
+// matches but a new duplicate escapes the ratchet.
+func TestBaselineRoundTrip(t *testing.T) {
+	root, _, findings := sarifFixture()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, root, findings); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+
+	// Shift every finding a few lines: keys ignore line numbers.
+	shifted := make([]Finding, len(findings))
+	copy(shifted, findings)
+	for i := range shifted {
+		shifted[i].Pos.Line += 17
+	}
+	left, err := FilterBaseline(path, root, shifted)
+	if err != nil {
+		t.Fatalf("FilterBaseline: %v", err)
+	}
+	if len(left) != 0 {
+		t.Errorf("baseline failed to absorb shifted findings: %v", left)
+	}
+
+	// A second identical finding exceeds the recorded multiplicity.
+	dup := append(shifted, shifted[0])
+	left, err = FilterBaseline(path, root, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 {
+		t.Errorf("multiset baseline absorbed %d findings too many: %v", 1-len(left), left)
+	}
+}

@@ -1,0 +1,3 @@
+module corpusmod
+
+go 1.22

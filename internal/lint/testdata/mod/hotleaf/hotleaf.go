@@ -1,0 +1,27 @@
+// Package hotleaf is the bottom of the hot-path corpus chain: its make
+// sits two packages away from the //lint:hotpath root.
+package hotleaf
+
+// Grow allocates; the root reaches it through hotmid.
+func Grow(n int) []int {
+	buf := make([]int, n) // want:hotpathalloc
+	return buf
+}
+
+// Fill writes into caller-owned scratch storage: allocation-free, the
+// buffer-reuse idiom hotpathalloc must keep accepting.
+func Fill(dst []int, v int) []int {
+	dst = dst[:0]
+	for i := 0; i < 4; i++ {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// Stage allocates behind a documented allow whose use arrives only
+// through hot.Run's cross-package path. A whole-module run marks it
+// used; a partial selection of this package alone has no hotpath root
+// in view and must NOT call it stale.
+func Stage(n int) []int {
+	return make([]int, n) //lint:allow hotpathalloc staging buffer is amortized across the caller's rounds
+}

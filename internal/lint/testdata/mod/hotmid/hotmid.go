@@ -1,0 +1,15 @@
+// Package hotmid sits between the hot root and the allocating leaf; it
+// is itself clean, so any finding below proves interprocedural reach.
+package hotmid
+
+import "corpusmod/hotleaf"
+
+// Relay forwards to the allocating leaf.
+func Relay(n int) []int {
+	return hotleaf.Grow(n)
+}
+
+// Reuse forwards scratch storage; clean all the way down.
+func Reuse(dst []int) []int {
+	return hotleaf.Fill(dst, 7)
+}

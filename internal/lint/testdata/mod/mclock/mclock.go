@@ -1,0 +1,15 @@
+// Package mclock is the tainted leaf of the purity corpus: the wall
+// clock read sits two packages away from the Machine.Step root.
+package mclock
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want:puritytaint
+}
+
+// Allowed reads the clock under a documented escape; not flagged.
+func Allowed() int64 {
+	return time.Now().UnixNano() //lint:allow puritytaint corpus demo of a documented escape
+}

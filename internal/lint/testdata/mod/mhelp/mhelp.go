@@ -1,0 +1,28 @@
+// Package mhelp sits between the corpus machine and the tainted clock
+// package; it is clean except for its own rand and map-range sinks.
+package mhelp
+
+import (
+	"math/rand"
+
+	"corpusmod/mclock"
+)
+
+// Jitter forwards the clock taint from mclock.
+func Jitter(r int) int64 {
+	return mclock.Stamp() + mclock.Allowed() + int64(r)
+}
+
+// Roll draws ambient randomness.
+func Roll(n int) int {
+	return rand.Intn(n) // want:puritytaint
+}
+
+// Tally ranges over a map.
+func Tally(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want:puritytaint
+		s += v
+	}
+	return s
+}

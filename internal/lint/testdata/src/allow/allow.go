@@ -37,6 +37,15 @@ func Guard(v int) int {
 	return v
 }
 
+// TrailingScope pins the fix for trailing-allow over-suppression: an
+// allow sharing its line with code covers exactly that line, so the
+// second print below stays a finding. (Only standalone comment lines
+// extend their suppression to the next line.)
+func TrailingScope(v int) {
+	fmt.Println("first", v)  //lint:allow printclean trailing allow covers exactly this line
+	fmt.Println("second", v) // want:printclean
+}
+
 // WrongRule shows that an allow for a different rule does not suppress:
 // the panicfree allow below must NOT silence maporder, and the
 // unsuppressed map range is still an obsdeterminism finding (the

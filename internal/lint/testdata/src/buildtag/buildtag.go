@@ -1,0 +1,10 @@
+// Package buildtag is a loader fixture: the sibling files redeclare
+// Flag and Excluded under build constraints for another platform, so the
+// package only type-checks if the loader filters them out.
+package buildtag
+
+// Flag is redeclared by the plan9-constrained files.
+const Flag = "host"
+
+// Excluded reports which constrained variants were (wrongly) loaded.
+func Excluded() []string { return nil }

@@ -1,0 +1,11 @@
+//go:build plan9
+
+// Tag-constrained variant: the //go:build line excludes this file
+// everywhere else; loading it alongside buildtag.go would redeclare.
+package buildtag
+
+// Flag redeclares the host constant.
+const Flag = "plan9-tag"
+
+// Excluded redeclares the host function.
+func Excluded() []string { return []string{"tag"} }

@@ -1,0 +1,9 @@
+// Filename-constrained variant: _plan9 suffix excludes this file
+// everywhere else; loading it alongside buildtag.go would redeclare.
+package buildtag
+
+// Flag redeclares the host constant.
+const Flag = "plan9-filename"
+
+// Excluded redeclares the host function.
+func Excluded() []string { return []string{"filename"} }

@@ -1,0 +1,16 @@
+// Package typeerr is a loader fixture with a deliberate type error: the
+// loader must stay lenient (collect the error, keep partial info) so a
+// broken package degrades analysis instead of aborting the whole run.
+package typeerr
+
+import "fmt"
+
+// Broken references an undefined identifier.
+func Broken() {
+	fmt.Println(undefinedIdentifier)
+}
+
+// Fine is well-typed; partial type info must still cover it.
+func Fine(v int) int {
+	return v + 1
+}

@@ -111,7 +111,7 @@ func (ViaLeader) Name() string { return "consensus/via-leader" }
 // NewMachine implements dynet.Protocol.
 func (ViaLeader) NewMachine(cfg dynet.Config) dynet.Machine {
 	extra := make(map[string]int64, len(cfg.Extra)+1)
-	for k, v := range cfg.Extra {
+	for k, v := range cfg.Extra { //lint:allow puritytaint map-to-map copy is order-independent
 		extra[k] = v
 	}
 	extra[leader.ExtraOutputValue] = 1

@@ -112,7 +112,7 @@ func (s *Sketch) Merge(value int64, copy int, min float32) {
 // Values returns the values present in the sketch, sorted.
 func (s *Sketch) Values() []int64 {
 	out := make([]int64, 0, len(s.mins))
-	for v := range s.mins {
+	for v := range s.mins { //lint:allow puritytaint iteration order cannot leak: values are sorted below
 		out = append(out, v) //lint:allow maporder collected values are sorted on the next line
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
