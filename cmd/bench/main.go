@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -53,7 +54,8 @@ func main() {
 		short      = flag.Bool("short", false, "shrink workloads for a smoke run")
 		out        = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		compare    = flag.String("compare", "", "old baseline JSON to print per-benchmark deltas against")
-		maxRegress = flag.Float64("max-regress", 20, "with -compare, exit 1 if any ns/op regresses more than this percent")
+		maxRegress = flag.Float64("max-regress", 20, "with -compare, exit 1 if any ns/op or rounds/s regresses more than this percent")
+		only       = flag.String("only", "", "run only benchmarks whose name contains this substring")
 	)
 	flag.Parse()
 
@@ -67,6 +69,9 @@ func main() {
 	}
 
 	for _, bm := range workloads(*short) {
+		if *only != "" && !strings.Contains(bm.name, *only) {
+			continue
+		}
 		r := testing.Benchmark(bm.fn)
 		res := benchResult{
 			Name:        bm.name,
@@ -181,7 +186,36 @@ func workloads(short bool) []struct {
 				}
 			}
 		}},
+		// RunFlood engages the word-packed fast path here (CFlood machines,
+		// no observers): same results as the message path, word-OR cost.
 		{"EngineRingFlood", func(b *testing.B) {
+			b.ReportAllocs()
+			g := dyndiam.Ring(ringN)
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				inputs := make([]int64, ringN)
+				inputs[0] = 1
+				ms := dyndiam.NewMachines(dyndiam.CFlood{}, ringN, inputs, uint64(i),
+					map[string]int64{dyndiam.ExtraDiameter: int64(ringN / 2)})
+				eng := &dyndiam.Engine{
+					Machines: ms,
+					Adv:      dyndiam.StaticAdversary(g),
+					Workers:  1,
+				}
+				res, err := eng.RunFlood(2*ringN, dyndiam.FloodStopNode(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Done {
+					b.Fatal("flood did not confirm")
+				}
+				rounds += res.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+		}},
+		// The identical workload forced through the per-message round loop:
+		// the gap to EngineRingFlood is the fast path's speedup.
+		{"EngineRingFloodMsg", func(b *testing.B) {
 			b.ReportAllocs()
 			g := dyndiam.Ring(ringN)
 			rounds := 0
@@ -199,6 +233,45 @@ func workloads(short bool) []struct {
 				res, err := eng.Run(2 * ringN)
 				if err != nil {
 					b.Fatal(err)
+				}
+				rounds += res.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+		}},
+		// Million-node-class probe: CFLOOD over a delta-encoded churn
+		// network. The adversary ships O(rewires) edge ops per round against
+		// one mutable CSR snapshot; the fast path never materializes a
+		// second graph. The persistent spanning tree (diameter O(log N))
+		// makes D=256 a safe known bound, so the run is 256 rounds.
+		{"EngineHugeN", func(b *testing.B) {
+			b.ReportAllocs()
+			hugeN := 100_000
+			if short {
+				hugeN = 20_000
+			}
+			const hugeD = 256
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				inputs := make([]int64, hugeN)
+				inputs[0] = 1
+				ms := dyndiam.NewMachines(dyndiam.CFlood{}, hugeN, inputs, uint64(i),
+					map[string]int64{dyndiam.ExtraDiameter: hugeD})
+				eng := &dyndiam.Engine{
+					Machines: ms,
+					Adv:      dyndiam.DeltaChurnAdversary(hugeN, hugeN/8, hugeN/64, uint64(i)),
+					Workers:  1,
+				}
+				res, err := eng.RunFlood(2*hugeD, dyndiam.FloodStopNode(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Done {
+					b.Fatal("flood did not confirm")
+				}
+				for _, m := range ms {
+					if !dyndiam.Informed(m) {
+						b.Fatal("confirmed before everyone was informed")
+					}
 				}
 				rounds += res.Rounds
 			}
@@ -274,8 +347,19 @@ func printComparison(oldPath string, cur baseline) (worst float64, err error) {
 		if delta > worst {
 			worst = delta
 		}
-		fmt.Printf("  %-28s %+7.1f%% ns/op (%.0f -> %.0f), allocs %d -> %d\n",
+		fmt.Printf("  %-28s %+7.1f%% ns/op (%.0f -> %.0f), allocs %d -> %d",
 			r.Name, delta, p.NsPerOp, r.NsPerOp, p.AllocsPerOp, r.AllocsPerOp)
+		// Throughput benchmarks also gate on rounds/s: a drop is a
+		// regression even when ns/op moved for benign reasons (e.g. a
+		// workload now finishing in fewer, slower rounds would hide there).
+		if r.RoundsPerSec > 0 && p.RoundsPerSec > 0 {
+			rpsDrop := (p.RoundsPerSec - r.RoundsPerSec) / p.RoundsPerSec * 100
+			if rpsDrop > worst {
+				worst = rpsDrop
+			}
+			fmt.Printf(", rounds/s %.0f -> %.0f", p.RoundsPerSec, r.RoundsPerSec)
+		}
+		fmt.Println()
 	}
 	return worst, nil
 }

@@ -83,6 +83,47 @@ func DynamicDiameter(graphs []*Graph) (d int, exact bool) {
 	return dynet.DynamicDiameter(graphs)
 }
 
+// --- Flood fast path & delta-encoded dynamic graphs (package dynet) ---
+
+// Fast-path types: see internal/dynet (floodfast.go, delta.go) for the
+// qualification rules and the DeltaAdversary calling contract.
+type (
+	// FloodStop selects a flood run's termination predicate.
+	FloodStop = dynet.FloodStop
+	// FloodSpec is a BitFlooder machine's view of a flood execution.
+	FloodSpec = dynet.FloodSpec
+	// BitFlooder marks machines the word-packed flood fast path can run.
+	BitFlooder = dynet.BitFlooder
+	// EdgeOp is one edge insertion or deletion.
+	EdgeOp = dynet.EdgeOp
+	// EdgeDiff is an ordered edge-op script between consecutive rounds.
+	EdgeDiff = dynet.EdgeDiff
+	// DeltaAdversary describes rounds as edge diffs against a snapshot.
+	DeltaAdversary = dynet.DeltaAdversary
+)
+
+// FloodStopNode stops a flood run once node v can output; FloodStopAll
+// once every node can. Pass the result to Engine.RunFlood.
+func FloodStopNode(v int) FloodStop { return dynet.StopNode(v) }
+
+// FloodStopAll stops a flood run once every node can output.
+func FloodStopAll() FloodStop { return dynet.StopAll() }
+
+// DiffGraphs appends to d the ordered edge-op script transforming prev
+// into next.
+func DiffGraphs(prev, next *Graph, d *EdgeDiff) { dynet.DiffGraphs(prev, next, d) }
+
+// DeltaFromAdversary wraps any Adversary as a DeltaAdversary by diffing
+// consecutive materialized topologies.
+func DeltaFromAdversary(adv Adversary) DeltaAdversary { return dynet.DeltaFrom(adv) }
+
+// DeltaChurnAdversary is the churn family as a native DeltaAdversary: a
+// persistent random spanning tree plus extra slot edges, rewires of which
+// are re-sampled each round as an O(rewires) edge-op script.
+func DeltaChurnAdversary(n, extra, rewires int, seed uint64) DeltaAdversary {
+	return adversaries.NewDeltaChurn(n, extra, rewires, seed)
+}
+
 // --- Graph builders (package graph) ---
 
 // NewGraph returns an empty n-vertex graph.

@@ -1,0 +1,116 @@
+package adversaries
+
+import (
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/rng"
+)
+
+// DeltaChurn is the churn family restated as a dynet.DeltaAdversary: a
+// persistent random spanning tree plus `extra` slot edges, of which
+// `rewires` are re-sampled every round. Because only the rewired slots
+// change, round r > 1 is naturally an O(rewires) edge-op script — the
+// flood fast path applies it to one mutable CSR snapshot instead of
+// copying the whole graph, so per-round topology cost scales with churn.
+//
+// Edge multiplicity is tracked so overlapping slots (or a slot landing on
+// a tree edge) never emit a premature deletion: a Del op appears only when
+// an edge's multiplicity reaches zero, an Add only when it first becomes
+// positive. The tree contributes a permanent multiplicity, making every
+// round's topology connected unconditionally.
+//
+// Per-round randomness comes from a round-keyed split of the seed, so two
+// instances built with the same parameters produce identical topology
+// sequences regardless of which DeltaAdversary calling pattern drives
+// them — the package tests pin Topology-vs-Diff equivalence.
+type DeltaChurn struct {
+	n       int
+	slots   [][2]int
+	rewires int
+	src     *rng.Source
+	counts  map[int64]int
+	cur     *graph.Graph // maintained current topology
+}
+
+// NewDeltaChurn builds a delta-encoding churn adversary over n nodes with
+// extra random slot edges, of which rewires are re-sampled each round.
+func NewDeltaChurn(n, extra, rewires int, seed uint64) *DeltaChurn {
+	if n < 2 {
+		extra, rewires = 0, 0
+	}
+	src := rng.New(seed)
+	tree := graph.RandomConnected(n, 0, src.Split('t'))
+	c := &DeltaChurn{
+		n: n, rewires: rewires, src: src,
+		counts: make(map[int64]int), cur: tree,
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range tree.Adj(v) {
+			if int(u) > v {
+				c.counts[c.key(v, int(u))]++
+			}
+		}
+	}
+	ssrc := src.Split('s')
+	for i := 0; i < extra; i++ {
+		e := c.randomEdge(ssrc)
+		c.slots = append(c.slots, e)
+		if c.counts[c.key(e[0], e[1])]++; c.counts[c.key(e[0], e[1])] == 1 {
+			c.cur.AddEdge(e[0], e[1])
+		}
+	}
+	return c
+}
+
+func (c *DeltaChurn) key(u, v int) int64 { return int64(u)*int64(c.n) + int64(v) }
+
+// randomEdge samples a uniform non-loop edge, normalized to u < v.
+func (c *DeltaChurn) randomEdge(src *rng.Source) [2]int {
+	for {
+		u, v := src.Intn(c.n), src.Intn(c.n)
+		if u != v {
+			if u > v {
+				u, v = v, u
+			}
+			return [2]int{u, v}
+		}
+	}
+}
+
+// advance applies round r's rewires to the maintained topology, appending
+// the resulting edge-op script to d when non-nil. Rounds r <= 1 are the
+// base topology and mutate nothing.
+func (c *DeltaChurn) advance(r int, d *dynet.EdgeDiff) {
+	if r <= 1 || len(c.slots) == 0 {
+		return
+	}
+	rsrc := c.src.Split(uint64(r))
+	for i := 0; i < c.rewires; i++ {
+		si := rsrc.Intn(len(c.slots))
+		old, e := c.slots[si], c.randomEdge(rsrc)
+		c.slots[si] = e
+		if c.counts[c.key(old[0], old[1])]--; c.counts[c.key(old[0], old[1])] == 0 {
+			c.cur.RemoveEdge(old[0], old[1])
+			if d != nil {
+				d.Del(old[0], old[1])
+			}
+		}
+		if c.counts[c.key(e[0], e[1])]++; c.counts[c.key(e[0], e[1])] == 1 {
+			c.cur.AddEdge(e[0], e[1])
+			if d != nil {
+				d.Add(e[0], e[1])
+			}
+		}
+	}
+}
+
+// Topology implements dynet.Adversary.
+func (c *DeltaChurn) Topology(r int, _ []dynet.Action) *graph.Graph {
+	c.advance(r, nil)
+	return c.cur
+}
+
+// Diff implements dynet.DeltaAdversary.
+func (c *DeltaChurn) Diff(r int, _ []dynet.Action, d *dynet.EdgeDiff) {
+	c.advance(r, d)
+}

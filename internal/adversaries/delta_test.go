@@ -1,0 +1,73 @@
+package adversaries
+
+import (
+	"testing"
+
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+)
+
+func deltaGraphsEqual(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		pa, pb := a.Adj(v), b.Adj(v)
+		if len(pa) != len(pb) {
+			return false
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDeltaChurnPatternsAgree pins the DeltaAdversary contract: a fresh
+// instance driven by Topology every round and another driven by
+// Topology(1)+Diff produce identical topology sequences.
+func TestDeltaChurnPatternsAgree(t *testing.T) {
+	for _, tc := range []struct{ n, extra, rewires int }{
+		{2, 0, 0}, {8, 3, 1}, {40, 10, 4}, {100, 30, 30}, {64, 5, 50},
+	} {
+		full := NewDeltaChurn(tc.n, tc.extra, tc.rewires, 99)
+		delta := NewDeltaChurn(tc.n, tc.extra, tc.rewires, 99)
+		actions := make([]dynet.Action, tc.n)
+
+		snap := graph.New(tc.n)
+		var d dynet.EdgeDiff
+		for r := 1; r <= 20; r++ {
+			want := full.Topology(r, actions)
+			if r == 1 {
+				snap.CopyFrom(delta.Topology(r, actions))
+			} else {
+				d.Reset()
+				delta.Diff(r, actions, &d)
+				if d.Len() > 2*tc.rewires {
+					t.Fatalf("n=%d round %d: %d diff ops for %d rewires", tc.n, r, d.Len(), tc.rewires)
+				}
+				d.Apply(snap)
+			}
+			if !deltaGraphsEqual(snap, want) {
+				t.Fatalf("n=%d round %d: diff pattern diverges from topology pattern", tc.n, r)
+			}
+			if !want.Connected() {
+				t.Fatalf("n=%d round %d: churned topology disconnected", tc.n, r)
+			}
+		}
+	}
+}
+
+// TestDeltaChurnDeterministic: same parameters, same sequence — twice.
+func TestDeltaChurnDeterministic(t *testing.T) {
+	a := NewDeltaChurn(32, 8, 3, 5)
+	b := NewDeltaChurn(32, 8, 3, 5)
+	actions := make([]dynet.Action, 32)
+	for r := 1; r <= 12; r++ {
+		if !deltaGraphsEqual(a.Topology(r, actions), b.Topology(r, actions)) {
+			t.Fatalf("round %d: two same-seed instances diverge", r)
+		}
+	}
+}

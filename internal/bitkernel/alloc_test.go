@@ -1,0 +1,61 @@
+package bitkernel
+
+import (
+	"testing"
+
+	"dyndiam/internal/graph"
+)
+
+func ring(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// TestFloodEngineRunNoAllocs pins the hotpath contract: once its buffers
+// are warm, FloodEngine.Run performs zero heap allocations per execution
+// when the topology source is itself allocation-free.
+func TestFloodEngineRunNoAllocs(t *testing.T) {
+	n := 512
+	g := ring(n)
+	topo := TopologiesFunc(func(int, Bits) (*graph.Graph, error) { return g, nil })
+	seed := New(n)
+	seed.Set(0)
+	cfg := FloodConfig{N: n, Source: 0, D: n - 1, TokenBits: 8, StopAll: true, Seed: seed}
+
+	var fe FloodEngine
+	if _, err := fe.Run(cfg, topo, 4*n); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := fe.Run(cfg, topo, 4*n); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FloodEngine.Run allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestClosureStepNoAllocs pins that stepping the causal closure allocates
+// nothing in steady state (Reset reuses the matrices).
+func TestClosureStepNoAllocs(t *testing.T) {
+	n := 256
+	g := ring(n)
+	c := NewClosure(n)
+	for !c.Complete() { // warm newly's backing array
+		c.Step(g)
+	}
+	c.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		if c.Complete() {
+			c.Reset()
+		}
+		c.Step(g)
+	})
+	if allocs != 0 {
+		t.Fatalf("Closure.Step allocates %v times per step, want 0", allocs)
+	}
+}

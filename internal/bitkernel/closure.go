@@ -1,0 +1,224 @@
+package bitkernel
+
+import "dyndiam/internal/graph"
+
+// This file maintains the paper's causal relation incrementally. Following
+// Section 2: (U, r) → (V, r+1) holds iff (U, V) is an edge of the
+// round-(r+1) topology or U = V, ⇝ is the transitive closure, and the
+// dynamic diameter is the minimum D such that (U, r) ⇝ (V, r+D) for every
+// r >= 0 and all U, V. A Closure tracks the spread from one start time; a
+// DiameterTracker runs one Closure per start time against a streamed
+// topology sequence, so dynamic-diameter queries no longer re-simulate the
+// whole trace per start time (and no longer require retaining topologies).
+
+// Closure tracks, for one fixed start time, which sources have causally
+// influenced each node: row v is the set of U with (U, r) ⇝ (v, r+z)
+// after z Step calls. Rows are double-buffered so each Step uses only the
+// previous round's state (influence travels one hop per round), and rows
+// that reach the full set are frozen and skipped — once every source
+// reaches v, v's row can only stay full, so the kernel's total work over a
+// run is bounded by the rounds each row spends below full.
+type Closure struct {
+	n         int
+	cur, nxt  *Matrix
+	full      []bool
+	fullCount int
+	rounds    int
+	newly     []int32 // per-Step scratch: rows that reached full this round
+}
+
+// NewClosure returns a Closure over n nodes at its start time (row v
+// holds exactly {v}).
+func NewClosure(n int) *Closure {
+	c := &Closure{
+		n:     n,
+		cur:   NewMatrix(n, n),
+		nxt:   NewMatrix(n, n),
+		full:  make([]bool, n),
+		newly: make([]int32, 0, n),
+	}
+	c.init()
+	return c
+}
+
+// Reset returns the Closure to its start-time state so it can be reused
+// for a new start time (the DiameterTracker pool path).
+func (c *Closure) Reset() {
+	c.cur.Reset()
+	c.nxt.Reset()
+	for v := range c.full {
+		c.full[v] = false
+	}
+	c.fullCount = 0
+	c.rounds = 0
+	c.init()
+}
+
+func (c *Closure) init() {
+	for v := 0; v < c.n; v++ {
+		c.cur.Row(v).Set(v)
+	}
+	if c.n == 1 {
+		// The single row {0} is already the full set.
+		c.full[0] = true
+		c.fullCount = 1
+	}
+}
+
+// Step advances the closure by one round using g, the topology of round
+// start+rounds+1. It is a no-op once the closure is complete. The round
+// body performs no allocations: rows live in two preallocated matrices
+// and the newly-full scratch list was sized to n at construction.
+//
+//lint:hotpath
+//lint:pure
+func (c *Closure) Step(g *graph.Graph) {
+	if c.fullCount == c.n {
+		return
+	}
+	c.rounds++
+	n := c.n
+	c.newly = c.newly[:0]
+	for v := 0; v < n; v++ {
+		if c.full[v] {
+			// Both buffered copies of row v were filled when it froze,
+			// so the row needs no copy and no ORs this round.
+			continue
+		}
+		nv := c.nxt.Row(v)
+		nv.CopyFrom(c.cur.Row(v))
+		became := false
+		for _, u := range g.Adj(v) {
+			if c.full[u] {
+				// A frozen neighbor's row is the full set: one Fill
+				// replaces the remaining ORs.
+				nv.Fill(n)
+				became = true
+				break
+			}
+			nv.Or(c.cur.Row(int(u)))
+		}
+		if !became && nv.FullUpTo(n) {
+			became = true
+		}
+		if became {
+			// Defer freezing until the sweep ends: full[] and the cur
+			// rows must reflect the previous round while other rows are
+			// still being computed from them.
+			c.newly = append(c.newly, int32(v))
+		}
+	}
+	for _, v := range c.newly {
+		c.full[v] = true
+		c.fullCount++
+		c.cur.Row(int(v)).Fill(n)
+		c.nxt.Row(int(v)).Fill(n)
+	}
+	c.cur, c.nxt = c.nxt, c.cur
+}
+
+// Complete reports whether every node has been influenced by every source.
+func (c *Closure) Complete() bool { return c.fullCount == c.n }
+
+// Rounds returns how many Step calls have advanced the closure (the
+// spread z once Complete).
+func (c *Closure) Rounds() int { return c.rounds }
+
+// Influenced returns node v's influence row: the set of sources U with
+// (U, start) ⇝ (v, start+Rounds()). The view aliases kernel storage and
+// is invalidated by the next Step or Reset.
+func (c *Closure) Influenced(v int) Bits { return c.cur.Row(v) }
+
+// DiameterTracker computes the dynamic diameter of a streamed topology
+// sequence: Advance once per round, Result at any prefix. It maintains
+// one Closure per still-spreading start time and retires each the round
+// it completes, so memory is bounded by the diameter (times the n²-bit
+// closure rows), not the trace length, and no topology is retained.
+type DiameterTracker struct {
+	n       int
+	t       int // rounds advanced; graphs seen are rounds 1..t
+	starts  []int
+	active  []*Closure
+	pool    []*Closure
+	spreads []int // per start time: completed spread, or -1 while open
+	d       int   // max completed spread
+}
+
+// NewDiameterTracker returns a tracker over n nodes.
+func NewDiameterTracker(n int) *DiameterTracker {
+	return &DiameterTracker{n: n}
+}
+
+// Advance feeds the tracker round t+1's topology: it opens the closure
+// for start time t (0-based) and steps every still-open closure. Closure
+// buffers are pooled, so steady state allocates only the bookkeeping
+// slots of newly opened start times.
+//
+//lint:hotpath
+//lint:pure
+func (t *DiameterTracker) Advance(g *graph.Graph) {
+	var c *Closure
+	if k := len(t.pool); k > 0 {
+		c = t.pool[k-1]
+		t.pool = t.pool[:k-1]
+		c.Reset()
+	} else {
+		c = NewClosure(t.n) //lint:allow hotpathalloc pool growth only; steady state reuses retired closures
+	}
+	t.starts = append(t.starts, t.t)
+	t.active = append(t.active, c)
+	t.spreads = append(t.spreads, -1)
+	t.t++
+	out := 0
+	for i, c := range t.active {
+		c.Step(g)
+		if c.Complete() {
+			z := c.Rounds()
+			t.spreads[t.starts[i]] = z
+			if z > t.d {
+				t.d = z
+			}
+			t.pool = append(t.pool, c)
+			continue
+		}
+		t.active[out] = c
+		t.starts[out] = t.starts[i]
+		out++
+	}
+	t.active = t.active[:out]
+	t.starts = t.starts[:out]
+}
+
+// Rounds returns how many topologies have been advanced.
+func (t *DiameterTracker) Rounds() int { return t.t }
+
+// Spreads returns, per start time r (0-based), the spread completed from
+// r, or -1 if it has not completed within the rounds advanced so far. The
+// slice aliases tracker storage.
+func (t *DiameterTracker) Spreads() []int { return t.spreads }
+
+// Result returns the dynamic diameter d witnessed by the rounds advanced
+// so far and whether the prefix certifies it: every start time either
+// completed its spread, or had fewer than d rounds remaining (so its
+// incompleteness is consistent with diameter d). When exact is false, d
+// is only a lower bound. The semantics match dynet.DynamicDiameter on
+// the same topology sequence.
+func (t *DiameterTracker) Result() (d int, exact bool) {
+	if t.t == 0 {
+		return 0, false
+	}
+	if t.n <= 1 {
+		return 0, true
+	}
+	d = t.d
+	exact = d > 0
+	for r, z := range t.spreads {
+		if z == -1 && t.t-r >= d {
+			// At least d rounds elapsed after start r and the spread
+			// still did not finish: the true diameter exceeds d.
+			exact = false
+			break
+		}
+	}
+	return d, exact
+}

@@ -1,0 +1,226 @@
+package bitkernel
+
+import (
+	"testing"
+
+	"dyndiam/internal/graph"
+	"dyndiam/internal/rng"
+)
+
+// refSpreadFrom recomputes the spread from scratch with boolean influence
+// sets — the specification the incremental Closure is held to.
+func refSpreadFrom(graphs []*graph.Graph, r int) int {
+	if len(graphs) == 0 {
+		return -1
+	}
+	n := graphs[0].N()
+	if n <= 1 {
+		return 0
+	}
+	inf := make([][]bool, n)
+	for v := range inf {
+		inf[v] = make([]bool, n)
+		inf[v][v] = true
+	}
+	next := make([][]bool, n)
+	for v := range next {
+		next[v] = make([]bool, n)
+	}
+	for z := 1; r+z-1 < len(graphs); z++ {
+		g := graphs[r+z-1]
+		for v := 0; v < n; v++ {
+			copy(next[v], inf[v])
+			for _, u := range g.Adj(v) {
+				for s, b := range inf[u] {
+					if b {
+						next[v][s] = true
+					}
+				}
+			}
+		}
+		inf, next = next, inf
+		done := true
+		for v := 0; v < n && done; v++ {
+			for s := 0; s < n; s++ {
+				if !inf[v][s] {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			return z
+		}
+	}
+	return -1
+}
+
+// refDiameter mirrors dynet.DynamicDiameter over refSpreadFrom.
+func refDiameter(graphs []*graph.Graph) (int, bool) {
+	T := len(graphs)
+	if T == 0 {
+		return 0, false
+	}
+	if graphs[0].N() <= 1 {
+		return 0, true
+	}
+	d := 0
+	spreads := make([]int, T)
+	for r := 0; r < T; r++ {
+		spreads[r] = refSpreadFrom(graphs, r)
+		if spreads[r] > d {
+			d = spreads[r]
+		}
+	}
+	exact := d > 0
+	for r := 0; r < T; r++ {
+		if spreads[r] == -1 && T-r >= d {
+			exact = false
+			break
+		}
+	}
+	return d, exact
+}
+
+func randomTrace(n, T, extra int, seed uint64) []*graph.Graph {
+	src := rng.New(seed)
+	graphs := make([]*graph.Graph, T)
+	for r := range graphs {
+		graphs[r] = graph.RandomConnected(n, extra, src.Split(uint64(r)))
+	}
+	return graphs
+}
+
+func TestClosureMatchesScratchSpread(t *testing.T) {
+	for _, tc := range []struct{ n, T, extra int }{
+		{1, 3, 0}, {2, 4, 0}, {5, 8, 1}, {16, 12, 3}, {33, 10, 0}, {64, 9, 5}, {65, 9, 2},
+	} {
+		graphs := randomTrace(tc.n, tc.T, tc.extra, uint64(tc.n*1000+tc.T))
+		for r := 0; r < tc.T; r++ {
+			want := refSpreadFrom(graphs, r)
+			c := NewClosure(tc.n)
+			got := -1
+			for z := 1; r+z-1 < tc.T; z++ {
+				c.Step(graphs[r+z-1])
+				if c.Complete() {
+					got = c.Rounds()
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("n=%d T=%d r=%d: closure spread %d, want %d", tc.n, tc.T, r, got, want)
+			}
+		}
+	}
+}
+
+func TestClosureInfluencedRows(t *testing.T) {
+	// A 4-node line: after one round, each node is influenced by itself
+	// and its line neighbors only.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	c := NewClosure(4)
+	c.Step(g)
+	want := [][]int{{0, 1}, {0, 1, 2}, {1, 2, 3}, {2, 3}}
+	for v := 0; v < 4; v++ {
+		row := c.Influenced(v)
+		for s := 0; s < 4; s++ {
+			wantSet := false
+			for _, x := range want[v] {
+				if x == s {
+					wantSet = true
+				}
+			}
+			if row.Test(s) != wantSet {
+				t.Fatalf("node %d source %d: influenced=%v, want %v", v, s, row.Test(s), wantSet)
+			}
+		}
+	}
+}
+
+func TestClosureReuseViaReset(t *testing.T) {
+	graphs := randomTrace(20, 8, 2, 99)
+	c := NewClosure(20)
+	var first int
+	for z := 0; z < 8; z++ {
+		c.Step(graphs[z])
+	}
+	first = c.Rounds()
+	firstComplete := c.Complete()
+	c.Reset()
+	for z := 0; z < 8; z++ {
+		c.Step(graphs[z])
+	}
+	if c.Rounds() != first || c.Complete() != firstComplete {
+		t.Fatalf("reused closure diverged: rounds %d vs %d, complete %v vs %v",
+			c.Rounds(), first, c.Complete(), firstComplete)
+	}
+	if want := refSpreadFrom(graphs, 0); firstComplete && first != want {
+		t.Fatalf("closure spread %d, want %d", first, want)
+	}
+}
+
+func TestDiameterTrackerMatchesScratch(t *testing.T) {
+	for _, tc := range []struct{ n, T, extra int }{
+		{1, 4, 0}, {2, 6, 0}, {6, 10, 1}, {16, 14, 2}, {40, 12, 4}, {65, 8, 3},
+	} {
+		graphs := randomTrace(tc.n, tc.T, tc.extra, uint64(tc.n*31+tc.T))
+		// Every prefix must agree, not just the full trace: the tracker
+		// is queried on streamed prefixes by the harness.
+		tr := NewDiameterTracker(tc.n)
+		for T := 1; T <= tc.T; T++ {
+			tr.Advance(graphs[T-1])
+			gotD, gotExact := tr.Result()
+			wantD, wantExact := refDiameter(graphs[:T])
+			if gotD != wantD || gotExact != wantExact {
+				t.Fatalf("n=%d prefix %d: tracker (%d,%v), want (%d,%v)",
+					tc.n, T, gotD, gotExact, wantD, wantExact)
+			}
+		}
+		// Per-start spreads must match the scratch recomputation too.
+		spreads := tr.Spreads()
+		for r := 0; r < tc.T; r++ {
+			if want := refSpreadFrom(graphs, r); spreads[r] != want {
+				t.Fatalf("n=%d start %d: spread %d, want %d", tc.n, r, spreads[r], want)
+			}
+		}
+	}
+}
+
+func TestDiameterTrackerRotatingStar(t *testing.T) {
+	// The rotating star has per-round static diameter 2 but dynamic
+	// diameter n-1 — the classic separation the tracker must reproduce.
+	n := 9
+	graphs := make([]*graph.Graph, 3*n)
+	for r := range graphs {
+		g := graph.New(n)
+		center := (r + 1) % n
+		for v := 0; v < n; v++ {
+			if v != center {
+				g.AddEdge(center, v)
+			}
+		}
+		graphs[r] = g
+	}
+	tr := NewDiameterTracker(n)
+	for _, g := range graphs {
+		tr.Advance(g)
+	}
+	d, exact := tr.Result()
+	wantD, wantExact := refDiameter(graphs)
+	if d != wantD || exact != wantExact {
+		t.Fatalf("rotating star: tracker (%d,%v), want (%d,%v)", d, exact, wantD, wantExact)
+	}
+	if d != n-1 {
+		t.Fatalf("rotating star diameter %d, want %d", d, n-1)
+	}
+}
+
+func TestDiameterTrackerEmpty(t *testing.T) {
+	tr := NewDiameterTracker(5)
+	if d, exact := tr.Result(); d != 0 || exact {
+		t.Fatalf("empty tracker: (%d,%v), want (0,false)", d, exact)
+	}
+}

@@ -1,0 +1,191 @@
+package dynet
+
+import (
+	"testing"
+
+	"dyndiam/internal/bitkernel"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/rng"
+)
+
+// randomTrace builds T independent random connected topologies over n nodes.
+func randomTrace(n, T, extra int, seed uint64) []*graph.Graph {
+	src := rng.New(seed)
+	gs := make([]*graph.Graph, T)
+	for r := range gs {
+		gs[r] = graph.RandomConnected(n, extra, src.Split(uint64(r)))
+	}
+	return gs
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		pa, pb := a.Adj(v), b.Adj(v)
+		if len(pa) != len(pb) {
+			return false
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDiffGraphsRoundtrip: applying DiffGraphs(prev, next) to a copy of
+// prev must reproduce next exactly, for random pairs of topologies.
+func TestDiffGraphsRoundtrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 33, 100} {
+		for trial := uint64(0); trial < 4; trial++ {
+			src := rng.New(0xd1f*uint64(n) + trial)
+			prev := graph.RandomConnected(n, n/2, src.Split(0))
+			next := graph.RandomConnected(n, n/3, src.Split(1))
+			var d EdgeDiff
+			DiffGraphs(prev, next, &d)
+			got := prev.Clone()
+			d.Apply(got)
+			if !graphsEqual(got, next) {
+				t.Fatalf("n=%d trial=%d: diff+apply does not reproduce next (%d ops)", n, trial, d.Len())
+			}
+			// An empty diff is produced for identical graphs.
+			d.Reset()
+			DiffGraphs(next, next, &d)
+			if d.Len() != 0 {
+				t.Fatalf("n=%d: self-diff has %d ops, want 0", n, d.Len())
+			}
+		}
+	}
+}
+
+// TestDeltaFromMatchesTopology: the two DeltaAdversary calling patterns
+// (all-Topology vs Topology(1)+Diff...) must yield identical sequences.
+func TestDeltaFromMatchesTopology(t *testing.T) {
+	n, T := 40, 12
+	actions := make([]Action, n)
+	mk := func() Adversary {
+		src := rng.New(77)
+		return AdversaryFunc(func(r int, _ []Action) *graph.Graph {
+			return graph.RandomConnected(n, 3, src.Split(uint64(r)))
+		})
+	}
+	da := DeltaFrom(mk())
+	want := mk()
+
+	snap := graph.New(n)
+	var d EdgeDiff
+	for r := 1; r <= T; r++ {
+		w := want.Topology(r, actions)
+		if r == 1 {
+			snap.CopyFrom(da.Topology(r, actions))
+		} else {
+			d.Reset()
+			da.Diff(r, actions, &d)
+			d.Apply(snap)
+		}
+		if !graphsEqual(snap, w) {
+			t.Fatalf("round %d: delta-path snapshot diverges from topology path", r)
+		}
+	}
+}
+
+// checkIncrementalClosure drives a bitkernel.Closure with a diff-mutated
+// snapshot round by round and checks completion time against SpreadFrom on
+// the materialized trace, from every start time.
+func checkIncrementalClosure(t *testing.T, gs []*graph.Graph) {
+	t.Helper()
+	n := gs[0].N()
+	for r := 0; r <= len(gs); r++ {
+		want := SpreadFrom(gs, r)
+
+		// Incremental path: one mutable snapshot advanced by diffs.
+		snap := graph.New(n)
+		var d EdgeDiff
+		c := bitkernel.NewClosure(n)
+		got := -1
+		if c.Complete() { // n <= 1: spread is trivially done
+			got = 0
+		}
+		for z := 1; got < 0 && r+z-1 < len(gs); z++ {
+			g := gs[r+z-1]
+			if z == 1 {
+				snap.CopyFrom(g)
+			} else {
+				d.Reset()
+				DiffGraphs(gs[r+z-2], g, &d)
+				d.Apply(snap)
+			}
+			c.Step(snap)
+			if c.Complete() {
+				got = z
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("start %d: incremental closure spread %d, scratch SpreadFrom %d", r, got, want)
+		}
+	}
+}
+
+// TestIncrementalClosureMatchesScratch (satellite 2): stepping the causal
+// closure with delta-encoded graphs is equivalent to SpreadFrom over fully
+// materialized snapshots.
+func TestIncrementalClosureMatchesScratch(t *testing.T) {
+	for _, tc := range []struct{ n, T, extra int }{
+		{1, 4, 0}, {2, 6, 0}, {5, 8, 1}, {17, 10, 2}, {40, 6, 0}, {64, 9, 5},
+	} {
+		for trial := uint64(0); trial < 3; trial++ {
+			gs := randomTrace(tc.n, tc.T, tc.extra, 0xc105e+uint64(tc.n)*131+trial)
+			checkIncrementalClosure(t, gs)
+		}
+	}
+}
+
+// TestDiameterTrackerOverDiffs: streaming diff-mutated snapshots into a
+// DiameterTracker matches DynamicDiameter over the materialized trace.
+func TestDiameterTrackerOverDiffs(t *testing.T) {
+	for _, tc := range []struct{ n, T, extra int }{
+		{3, 7, 0}, {12, 9, 1}, {33, 8, 2},
+	} {
+		gs := randomTrace(tc.n, tc.T, tc.extra, 0x7acc*uint64(tc.n))
+		wantD, wantExact := DynamicDiameter(gs)
+
+		snap := graph.New(tc.n)
+		var d EdgeDiff
+		tr := bitkernel.NewDiameterTracker(tc.n)
+		for r, g := range gs {
+			if r == 0 {
+				snap.CopyFrom(g)
+			} else {
+				d.Reset()
+				DiffGraphs(gs[r-1], g, &d)
+				d.Apply(snap)
+			}
+			tr.Advance(snap)
+		}
+		gotD, gotExact := tr.Result()
+		if gotD != wantD || gotExact != wantExact {
+			t.Fatalf("n=%d: tracker over diffs (%d,%v), DynamicDiameter (%d,%v)",
+				tc.n, gotD, gotExact, wantD, wantExact)
+		}
+	}
+}
+
+// FuzzClosureIncremental (satellite 2): feed the incremental closure with
+// fuzz-chosen trace shapes; diffs round-by-round must agree with scratch
+// SpreadFrom recomputation from snapshots.
+func FuzzClosureIncremental(f *testing.F) {
+	f.Add(uint8(5), uint8(6), uint8(1), uint64(1))
+	f.Add(uint8(64), uint8(8), uint8(0), uint64(2))
+	f.Add(uint8(1), uint8(3), uint8(7), uint64(3))
+	f.Fuzz(func(t *testing.T, rawN, rawT, rawExtra uint8, seed uint64) {
+		n := int(rawN)%80 + 1
+		T := int(rawT)%10 + 1
+		extra := int(rawExtra) % 5
+		gs := randomTrace(n, T, extra, seed)
+		checkIncrementalClosure(t, gs)
+	})
+}

@@ -1,6 +1,9 @@
 package dynet
 
-import "dyndiam/internal/graph"
+import (
+	"dyndiam/internal/bitkernel"
+	"dyndiam/internal/graph"
+)
 
 // This file computes the paper's dynamic diameter. Following Section 2:
 // (U, r) → (V, r+1) holds iff (U, V) is an edge of the round-(r+1) topology
@@ -8,35 +11,12 @@ import "dyndiam/internal/graph"
 // such that (U, r) ⇝ (V, r+D) for every r ≥ 0 and all U, V. Note the
 // relation is purely topological: it ignores send/receive choices, because
 // it captures *potential* causal influence.
-
-// bitset is a fixed-size set of node ids packed into words.
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-func (b bitset) set(i int) { b[i/64] |= 1 << uint(i%64) }
-func (b bitset) orInto(o bitset) {
-	for w := range b {
-		b[w] |= o[w]
-	}
-}
-
-func (b bitset) equal(o bitset) bool {
-	for w := range b {
-		if b[w] != o[w] {
-			return false
-		}
-	}
-	return true
-}
-
-func fullBitset(n int) bitset {
-	b := newBitset(n)
-	for i := 0; i < n; i++ {
-		b.set(i)
-	}
-	return b
-}
+//
+// The closure arithmetic lives in internal/bitkernel (word-packed rows,
+// frozen-full skipping, pooled per-start closures); this file keeps the
+// trace-shaped entry points. Callers that stream topologies instead of
+// holding a full trace can drive a bitkernel.DiameterTracker directly —
+// that is what harness.MeasureDynamicDiameter does.
 
 // SpreadFrom returns the number of rounds needed, starting from state time
 // r (0-based; graphs[0] is the round-1 topology), until every node has been
@@ -51,35 +31,10 @@ func SpreadFrom(graphs []*graph.Graph, r int) int {
 	if n <= 1 {
 		return 0
 	}
-	// inf[v] = set of sources whose state at time r has influenced v.
-	inf := make([]bitset, n)
-	for v := 0; v < n; v++ {
-		inf[v] = newBitset(n)
-		inf[v].set(v)
-	}
-	full := fullBitset(n)
-	next := make([]bitset, n)
-	for v := range next {
-		next[v] = newBitset(n)
-	}
+	c := bitkernel.NewClosure(n)
 	for z := 1; r+z-1 < len(graphs); z++ {
-		g := graphs[r+z-1] // topology of round r+z
-		for v := 0; v < n; v++ {
-			nv := next[v]
-			copy(nv, inf[v])
-			for _, u := range g.Adj(v) {
-				nv.orInto(inf[u])
-			}
-		}
-		inf, next = next, inf
-		done := true
-		for v := 0; v < n; v++ {
-			if !inf[v].equal(full) {
-				done = false
-				break
-			}
-		}
-		if done {
+		c.Step(graphs[r+z-1]) // topology of round r+z
+		if c.Complete() {
 			return z
 		}
 	}
@@ -99,24 +54,13 @@ func DynamicDiameter(graphs []*graph.Graph) (d int, exact bool) {
 	if T == 0 {
 		return 0, false
 	}
-	if graphs[0].N() <= 1 {
+	n := graphs[0].N()
+	if n <= 1 {
 		return 0, true
 	}
-	spreads := make([]int, T)
-	for r := 0; r < T; r++ {
-		spreads[r] = SpreadFrom(graphs, r)
-		if spreads[r] > d {
-			d = spreads[r]
-		}
+	tr := bitkernel.NewDiameterTracker(n)
+	for _, g := range graphs {
+		tr.Advance(g)
 	}
-	exact = d > 0
-	for r := 0; r < T; r++ {
-		if spreads[r] == -1 && T-r >= d {
-			// At least d rounds remained and the spread still did
-			// not finish: the true diameter exceeds d.
-			exact = false
-			break
-		}
-	}
-	return d, exact
+	return tr.Result()
 }

@@ -1,0 +1,271 @@
+package dynet
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dyndiam/internal/bitkernel"
+	"dyndiam/internal/graph"
+)
+
+// This file is the engine-level fast path for CFLOOD-style knowledge-set
+// protocols. When every machine is a BitFlooder with one agreed flood
+// shape, a run's entire observable behavior is a deterministic function
+// of (informed set, round number): informed nodes send the constant
+// token, uninformed nodes adopt it from any sending neighbor, and the
+// source confirms once its diameter bound elapses. The engine can
+// therefore replace the per-message round loop with bitkernel.FloodEngine
+// word-ORs and reconcile the machines once at the end — bit-identical to
+// Run (the differential and fuzz tests pin this), at a fraction of the
+// cost. Adversaries implementing DeltaAdversary feed the kernel edge
+// diffs against one mutable CSR snapshot instead of full topologies.
+
+// FloodSpec describes one machine's view of a flood execution. Specs of
+// all machines must agree on Source and D for the fast path to engage.
+type FloodSpec struct {
+	// Source is the flood source node id; D is the diameter bound after
+	// which the source confirms.
+	Source int
+	D      int
+	// Token is the flooded value and TokenBits its exact wire size; both
+	// are meaningful only when Informed.
+	Token     int64
+	TokenBits int
+	// Informed reports whether this machine already holds the token;
+	// Done whether it has already confirmed.
+	Informed bool
+	Done     bool
+}
+
+// BitFlooder is implemented by machines whose execution the flood fast
+// path can reproduce: deterministic always-send token dissemination with
+// a source that confirms at its diameter bound (flood.CFlood). FloodSpec
+// exposes the machine's current flood state; SyncFlood writes back the
+// state an equivalent message-passing execution of `rounds` rounds would
+// have produced, after which Output must answer as if that execution had
+// happened.
+type BitFlooder interface {
+	Machine
+	FloodSpec() FloodSpec
+	SyncFlood(informed bool, token int64, rounds int)
+}
+
+// FloodStop selects a flood run's termination predicate. The zero value
+// stops when node 0 can output; use StopNode or StopAll.
+type FloodStop struct {
+	node int
+	all  bool
+}
+
+// StopNode stops once node v can output — for the CFLOOD source this is
+// its confirmation, the NodeDecided(v) predicate of the message path.
+func StopNode(v int) FloodStop { return FloodStop{node: v} }
+
+// StopAll stops once every node can output (the AllDecided predicate).
+func StopAll() FloodStop { return FloodStop{all: true} }
+
+// RunFlood executes up to maxRounds rounds of a flood protocol, using the
+// word-packed fast path when the machines qualify (TryFloodFast) and
+// falling back to the message-passing Run otherwise. The stop condition
+// is derived from stop — e.Terminated is overwritten, not consulted. Both
+// paths return bit-identical results.
+func (e *Engine) RunFlood(maxRounds int, stop FloodStop) (*Result, error) {
+	if res, ok, err := e.TryFloodFast(maxRounds, stop); ok {
+		return res, err
+	}
+	if stop.all {
+		e.Terminated = AllDecided
+	} else {
+		e.Terminated = NodeDecided(stop.node)
+	}
+	return e.Run(maxRounds)
+}
+
+// TryFloodFast attempts the word-packed flood fast path. ok reports
+// whether the fast path engaged; when false, result and error are nil and
+// the caller should fall back to Run. The fast path engages when:
+//
+//   - every machine implements BitFlooder and their specs agree on
+//     (Source, D), with the source informed, no machine done, and all
+//     informed machines holding one token;
+//   - no observer features that watch individual rounds or messages are
+//     attached (Obs, Trace, fault Plan) — Metrics is supported and filled
+//     with exactly the values Run would produce;
+//   - maxRounds >= 1 and the stop node is in range.
+//
+// Workers is ignored: the fast path is sequential, and sequential and
+// parallel message-path execution are bit-identical anyway.
+func (e *Engine) TryFloodFast(maxRounds int, stop FloodStop) (*Result, bool, error) {
+	n := len(e.Machines)
+	if n == 0 || maxRounds < 1 || e.Obs != nil || e.Trace != nil || e.Plan.Enabled() {
+		return nil, false, nil
+	}
+	if !stop.all && (stop.node < 0 || stop.node >= n) {
+		return nil, false, nil
+	}
+	var (
+		src, d    int
+		token     int64
+		tokenBits int
+		haveTok   bool
+	)
+	seed := bitkernel.New(n)
+	firstInformed := -1
+	for v, m := range e.Machines {
+		bf, ok := m.(BitFlooder)
+		if !ok {
+			return nil, false, nil
+		}
+		s := bf.FloodSpec()
+		if v == 0 {
+			src, d = s.Source, s.D
+		} else if s.Source != src || s.D != d {
+			return nil, false, nil
+		}
+		if s.Done {
+			return nil, false, nil
+		}
+		if s.Informed {
+			if !haveTok {
+				token, tokenBits, haveTok = s.Token, s.TokenBits, true
+				firstInformed = v
+			} else if s.Token != token || s.TokenBits != tokenBits {
+				return nil, false, nil
+			}
+			seed.Set(v)
+		}
+	}
+	if src < 0 || src >= n || !seed.Test(src) {
+		return nil, false, nil
+	}
+
+	budget := e.Budget
+	if budget == 0 {
+		budget = Budget(n)
+	}
+	sendersHist := e.Metrics.Histogram("engine_round_senders", RoundHistBounds)
+	bitsHist := e.Metrics.Histogram("engine_round_bits", RoundHistBounds)
+	if tokenBits > budget {
+		// Run would reject the lowest-id sender in round 1, before
+		// consulting the adversary; every sender carries the same
+		// constant token, so round 1 decides.
+		return nil, true, budgetError(firstInformed, 1, tokenBits, budget)
+	}
+
+	topo := newFloodTopo(e, n)
+	cfg := bitkernel.FloodConfig{
+		N: n, Source: src, D: d, TokenBits: tokenBits,
+		StopAll: stop.all, StopNode: stop.node, Seed: seed,
+	}
+	if e.Metrics != nil {
+		cfg.OnRound = func(_, senders, payloadBits int) {
+			sendersHist.Observe(int64(senders))
+			bitsHist.Observe(int64(payloadBits))
+		}
+	}
+	var fe bitkernel.FloodEngine
+	fres, err := fe.Run(cfg, topo, maxRounds)
+	if err != nil {
+		return nil, true, err
+	}
+
+	res := &Result{
+		Rounds:   fres.Rounds,
+		Done:     fres.Done,
+		Messages: fres.Messages,
+		Bits:     fres.Bits,
+		Outputs:  make([]int64, n),
+		Decided:  make([]bool, n),
+	}
+	for v, m := range e.Machines {
+		bf := m.(BitFlooder)
+		bf.SyncFlood(fres.Informed.Test(v), token, fres.Rounds)
+		res.Outputs[v], res.Decided[v] = m.Output()
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("engine_rounds_total").Add(int64(res.Rounds))
+		e.Metrics.Counter("engine_messages_total").Add(int64(res.Messages))
+		e.Metrics.Counter("engine_bits_total").Add(int64(res.Bits))
+		e.Metrics.Counter("engine_floodfast_runs_total").Add(1)
+		e.Metrics.Counter("engine_floodfast_diff_ops_total").Add(int64(topo.diffOps))
+	}
+	return res, true, nil
+}
+
+// floodTopo adapts the engine's Adversary to bitkernel.Topologies: it
+// rebuilds the per-round action commitments from the informed set (every
+// informed node sends), validates and connectivity-checks topologies like
+// Run does, and — when the adversary is a DeltaAdversary — maintains one
+// mutable CSR snapshot that each round's edge-diff script mutates in
+// place instead of materializing a fresh graph.
+type floodTopo struct {
+	adv     Adversary
+	delta   DeltaAdversary // non-nil when adv implements it
+	n       int
+	actions []Action
+	prev    bitkernel.Bits // informed snapshot behind actions
+	snap    *graph.Graph   // delta path's mutable round topology
+	diff    EdgeDiff
+	diffOps int
+	check   bool // connectivity checking, from Engine.CheckConnectivity
+	dist    []int32
+	queue   []int32
+}
+
+func newFloodTopo(e *Engine, n int) *floodTopo {
+	t := &floodTopo{
+		adv:     e.Adv,
+		n:       n,
+		actions: make([]Action, n),
+		prev:    bitkernel.New(n),
+		check:   e.CheckConnectivity,
+	}
+	if da, ok := e.Adv.(DeltaAdversary); ok {
+		t.delta = da
+		t.snap = graph.New(n)
+	}
+	if t.check {
+		t.dist = make([]int32, n)
+		t.queue = make([]int32, n)
+	}
+	return t
+}
+
+// Round implements bitkernel.Topologies. Only nodes that became informed
+// since the previous round change commitment, so action maintenance costs
+// O(n/64 + newly informed) per round.
+//
+//lint:hotpath
+func (t *floodTopo) Round(r int, informed bitkernel.Bits) (*graph.Graph, error) {
+	for wi, w := range informed {
+		changed := w ^ t.prev[wi]
+		for changed != 0 {
+			v := wi<<6 + bits.TrailingZeros64(changed)
+			changed &= changed - 1
+			t.actions[v] = Send
+		}
+		t.prev[wi] = w
+	}
+	var g *graph.Graph
+	if t.delta != nil && r > 1 {
+		t.diff.Reset()
+		t.delta.Diff(r, t.actions, &t.diff) //lint:allow hotpathalloc adversaries own their per-round script allocation budget
+		t.diffOps += t.diff.Len()
+		t.diff.Apply(t.snap)
+		g = t.snap
+	} else {
+		g = t.adv.Topology(r, t.actions) //lint:allow hotpathalloc adversaries own their per-round topology allocation budget
+		if t.delta != nil && g != nil && g.N() == t.n {
+			// Base round: seed the mutable snapshot the later diffs edit.
+			t.snap.CopyFrom(g)
+			g = t.snap
+		}
+	}
+	if g == nil || g.N() != t.n {
+		return nil, fmt.Errorf("dynet: adversary returned topology over %v nodes, want %d", gN(g), t.n) //lint:allow hotpathalloc error path terminates the run
+	}
+	if t.check && !g.ConnectedInto(t.dist, t.queue) {
+		return nil, fmt.Errorf("dynet: adversary returned disconnected topology in round %d", r) //lint:allow hotpathalloc error path terminates the run
+	}
+	return g, nil
+}

@@ -1,0 +1,46 @@
+package dynet_test
+
+import (
+	"testing"
+
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/protocols/flood"
+)
+
+// TestFloodFastAllocsIndependentOfRounds pins the fast path's "no
+// per-message allocation" claim end to end: against an allocation-free
+// adversary, a run's heap allocations do not grow with the number of
+// rounds executed (they cover only per-run setup — machines, buffers,
+// the Result).
+func TestFloodFastAllocsIndependentOfRounds(t *testing.T) {
+	n := 64
+	g := graph.New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(v, v+1) // a line: flooding takes n-1 rounds
+	}
+	adv := dynet.AdversaryFunc(func(int, []dynet.Action) *graph.Graph { return g })
+	inputs := make([]int64, n)
+	inputs[0] = 7
+	extra := map[string]int64{flood.ExtraD: 1 << 20} // source never confirms
+
+	measure := func(maxRounds int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			e := &dynet.Engine{
+				Machines: dynet.NewMachines(flood.CFlood{}, n, inputs, 1, extra),
+				Adv:      adv,
+			}
+			res, ok, err := e.TryFloodFast(maxRounds, dynet.StopAll())
+			if err != nil || !ok {
+				t.Fatalf("fast path: ok=%v err=%v", ok, err)
+			}
+			if res.Done {
+				t.Fatal("run terminated; rounds not exercised")
+			}
+		})
+	}
+	short, long := measure(50), measure(800)
+	if long > short+2 {
+		t.Fatalf("allocations grow with round count: %v at 50 rounds, %v at 800", short, long)
+	}
+}

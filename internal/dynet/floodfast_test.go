@@ -1,0 +1,327 @@
+package dynet_test
+
+// Differential tests for the flood fast path: on seeded random dynamic
+// graphs, TryFloodFast must produce bit-identical results, machine
+// states, and metrics to the message-passing Engine.Run for CFLOOD —
+// across stop modes, known and unknown diameter bounds, full and
+// delta-encoded adversaries, and round caps that cut the run short.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/graph"
+	"dyndiam/internal/obs"
+	"dyndiam/internal/protocols/flood"
+	"dyndiam/internal/rng"
+)
+
+// randomAdversary returns a fresh adversary producing the same topology
+// sequence for every instance built from the same parameters — the
+// property that lets the message path and the fast path run against
+// independent instances.
+func randomAdversary(n, extra int, seed uint64) dynet.Adversary {
+	src := rng.New(seed)
+	return dynet.AdversaryFunc(func(r int, _ []dynet.Action) *graph.Graph {
+		return graph.RandomConnected(n, extra, src.Split(uint64(r)))
+	})
+}
+
+func newFloodMachines(n int, seed uint64, extraD int64) []dynet.Machine {
+	inputs := make([]int64, n)
+	inputs[0] = 42
+	extra := map[string]int64{}
+	if extraD > 0 {
+		extra[flood.ExtraD] = extraD
+	}
+	return dynet.NewMachines(flood.CFlood{}, n, inputs, seed, extra)
+}
+
+type floodCase struct {
+	n, extra  int
+	seed      uint64
+	extraD    int64 // 0 = unknown D (pessimistic N-1)
+	maxRounds int
+	stopNode  int // ignored when stopAll
+	stopAll   bool
+	delta     bool // drive the fast path through DeltaFrom
+	metrics   bool
+	connCheck bool
+}
+
+func (tc floodCase) stop() dynet.FloodStop {
+	if tc.stopAll {
+		return dynet.StopAll()
+	}
+	return dynet.StopNode(tc.stopNode)
+}
+
+func (tc floodCase) terminated() func([]dynet.Machine) bool {
+	if tc.stopAll {
+		return dynet.AllDecided
+	}
+	return dynet.NodeDecided(tc.stopNode)
+}
+
+// runBothPaths executes one case on the message path and the fast path
+// and cross-checks everything observable. It returns the fast result.
+func runBothPaths(t *testing.T, tc floodCase) *dynet.Result {
+	t.Helper()
+
+	msMsg := newFloodMachines(tc.n, tc.seed, tc.extraD)
+	var regMsg, regFast *obs.Registry
+	if tc.metrics {
+		regMsg, regFast = obs.NewRegistry(), obs.NewRegistry()
+	}
+	eMsg := &dynet.Engine{
+		Machines:          msMsg,
+		Adv:               randomAdversary(tc.n, tc.extra, tc.seed),
+		Workers:           1,
+		Metrics:           regMsg,
+		CheckConnectivity: tc.connCheck,
+	}
+	eMsg.Terminated = tc.terminated()
+	wantRes, wantErr := eMsg.Run(tc.maxRounds)
+
+	msFast := newFloodMachines(tc.n, tc.seed, tc.extraD)
+	adv := randomAdversary(tc.n, tc.extra, tc.seed)
+	if tc.delta {
+		adv = dynet.DeltaFrom(adv)
+	}
+	eFast := &dynet.Engine{
+		Machines:          msFast,
+		Adv:               adv,
+		Workers:           1,
+		Metrics:           regFast,
+		CheckConnectivity: tc.connCheck,
+	}
+	gotRes, ok, gotErr := eFast.TryFloodFast(tc.maxRounds, tc.stop())
+	if !ok {
+		t.Fatalf("%+v: fast path declined", tc)
+	}
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("%+v: error mismatch: message %v, fast %v", tc, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%+v: error text mismatch: %q vs %q", tc, wantErr, gotErr)
+		}
+		return nil
+	}
+	if !reflect.DeepEqual(wantRes, gotRes) {
+		t.Fatalf("%+v: result mismatch:\nmessage %+v\nfast    %+v", tc, wantRes, gotRes)
+	}
+	for v := range msMsg {
+		if flood.Informed(msMsg[v]) != flood.Informed(msFast[v]) {
+			t.Fatalf("%+v: node %d informed mismatch: message %v, fast %v",
+				tc, v, flood.Informed(msMsg[v]), flood.Informed(msFast[v]))
+		}
+		wo, wok := msMsg[v].Output()
+		go_, gok := msFast[v].Output()
+		if wo != go_ || wok != gok {
+			t.Fatalf("%+v: node %d output mismatch: message (%d,%v), fast (%d,%v)",
+				tc, v, wo, wok, go_, gok)
+		}
+	}
+	if tc.metrics {
+		want := regMsg.Snapshot()
+		got := regFast.Snapshot()
+		// The fast path adds its own engine_floodfast_* counters on top
+		// of the message path's metric set; everything else must match
+		// point for point.
+		filtered := got[:0]
+		for _, p := range got {
+			if !strings.HasPrefix(p.Name, "engine_floodfast_") {
+				filtered = append(filtered, p)
+			}
+		}
+		if !reflect.DeepEqual(want, []obs.MetricPoint(filtered)) {
+			t.Fatalf("%+v: metrics mismatch:\nmessage %+v\nfast    %+v", tc, want, filtered)
+		}
+	}
+	return gotRes
+}
+
+func TestFloodFastMatchesMessagePath(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 17, 64, 65, 257, 1000} {
+		for trial := 0; trial < 3; trial++ {
+			seed := uint64(n*1000 + trial)
+			extra := trial
+			for si := 0; si < 3; si++ {
+				stopNode, stopAll := 0, false
+				switch si {
+				case 1:
+					stopNode = n - 1
+				case 2:
+					stopAll = true
+				}
+				// Unknown D (pessimistic N-1), generous cap.
+				runBothPaths(t, floodCase{
+					n: n, extra: extra, seed: seed, maxRounds: 2 * n,
+					stopNode: stopNode, stopAll: stopAll, metrics: true, delta: si == 1,
+				})
+				// Known small D: the source may confirm before full
+				// dissemination — both paths must agree on that too.
+				runBothPaths(t, floodCase{
+					n: n, extra: extra, seed: seed, extraD: 2, maxRounds: 2 * n,
+					stopNode: stopNode, stopAll: stopAll, delta: si == 2, connCheck: si == 0,
+				})
+			}
+			// Round cap cuts the run short: Done=false shape.
+			runBothPaths(t, floodCase{
+				n: n, extra: extra, seed: seed, maxRounds: 1,
+				stopNode: n - 1, metrics: true,
+			})
+		}
+	}
+}
+
+func TestFloodFastBudgetError(t *testing.T) {
+	// A token too wide for the bit budget must fail identically on both
+	// paths: same round, same node, same message.
+	n := 8
+	inputs := make([]int64, n)
+	inputs[0] = 1 << 40
+	mk := func() []dynet.Machine {
+		return dynet.NewMachines(flood.CFlood{}, n, inputs, 1, nil)
+	}
+	msMsg := mk()
+	eMsg := &dynet.Engine{Machines: msMsg, Adv: randomAdversary(n, 1, 9),
+		Workers: 1, Budget: 16, Terminated: dynet.NodeDecided(0)}
+	_, wantErr := eMsg.Run(4 * n)
+	if wantErr == nil {
+		t.Fatal("message path accepted an over-budget token")
+	}
+	eFast := &dynet.Engine{Machines: mk(), Adv: randomAdversary(n, 1, 9),
+		Workers: 1, Budget: 16}
+	res, ok, gotErr := eFast.TryFloodFast(4*n, dynet.StopNode(0))
+	if !ok {
+		t.Fatal("fast path declined")
+	}
+	if res != nil || gotErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("budget error mismatch: message %q, fast (%v, %q)", wantErr, res, gotErr)
+	}
+}
+
+func TestFloodFastDeclines(t *testing.T) {
+	n := 6
+	mk := func() *dynet.Engine {
+		return &dynet.Engine{
+			Machines: newFloodMachines(n, 5, 0),
+			Adv:      randomAdversary(n, 1, 5),
+			Workers:  1,
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(e *dynet.Engine) (maxRounds int, stop dynet.FloodStop)
+	}{
+		{"obs sink", func(e *dynet.Engine) (int, dynet.FloodStop) {
+			e.Obs = obs.NewRing(16)
+			return 2 * n, dynet.StopNode(0)
+		}},
+		{"trace", func(e *dynet.Engine) (int, dynet.FloodStop) {
+			e.Trace = &dynet.Trace{}
+			return 2 * n, dynet.StopNode(0)
+		}},
+		{"zero rounds", func(e *dynet.Engine) (int, dynet.FloodStop) {
+			return 0, dynet.StopNode(0)
+		}},
+		{"stop node out of range", func(e *dynet.Engine) (int, dynet.FloodStop) {
+			return 2 * n, dynet.StopNode(n)
+		}},
+		{"non-flooder machine", func(e *dynet.Engine) (int, dynet.FloodStop) {
+			e.Machines = dynet.NewMachines(flood.PFlood{}, n, make([]int64, n), 5, nil)
+			return 2 * n, dynet.StopNode(0)
+		}},
+	}
+	for _, tc := range cases {
+		e := mk()
+		maxRounds, stop := tc.mut(e)
+		if _, ok, err := e.TryFloodFast(maxRounds, stop); ok || err != nil {
+			t.Fatalf("%s: fast path did not decline cleanly (ok=%v err=%v)", tc.name, ok, err)
+		}
+	}
+	// RunFlood must still complete correctly through the fallback.
+	e := mk()
+	e.Obs = obs.NewRing(1 << 12)
+	res, err := e.RunFlood(2*n, dynet.StopNode(0))
+	if err != nil || !res.Done {
+		t.Fatalf("fallback RunFlood: res=%+v err=%v", res, err)
+	}
+}
+
+func TestRunFloodUsesFastPath(t *testing.T) {
+	n := 32
+	reg := obs.NewRegistry()
+	e := &dynet.Engine{
+		Machines: newFloodMachines(n, 3, 0),
+		Adv:      randomAdversary(n, 2, 3),
+		Metrics:  reg,
+	}
+	res, err := e.RunFlood(2*n, dynet.StopAll())
+	if err != nil || !res.Done {
+		t.Fatalf("RunFlood: res=%+v err=%v", res, err)
+	}
+	if got := reg.Counter("engine_floodfast_runs_total").Value(); got != 1 {
+		t.Fatalf("engine_floodfast_runs_total = %d, want 1 (fast path not taken)", got)
+	}
+}
+
+func TestFloodFastDisconnectedTopologyError(t *testing.T) {
+	n := 5
+	disconnected := dynet.AdversaryFunc(func(r int, _ []dynet.Action) *graph.Graph {
+		return graph.New(n) // no edges
+	})
+	run := func(fast bool) error {
+		e := &dynet.Engine{
+			Machines:          newFloodMachines(n, 2, 0),
+			Adv:               disconnected,
+			Workers:           1,
+			CheckConnectivity: true,
+		}
+		if fast {
+			_, ok, err := e.TryFloodFast(8, dynet.StopNode(0))
+			if !ok {
+				t.Fatal("fast path declined")
+			}
+			return err
+		}
+		e.Terminated = dynet.NodeDecided(0)
+		_, err := e.Run(8)
+		return err
+	}
+	wantErr, gotErr := run(false), run(true)
+	if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
+		t.Fatalf("disconnected topology: message %v, fast %v", wantErr, gotErr)
+	}
+}
+
+// FuzzFloodEquivalence drives randomized (n, topology seed, D bound, stop
+// mode, round cap, delta encoding) tuples through both execution paths
+// and requires bit-identical results and machine states.
+func FuzzFloodEquivalence(f *testing.F) {
+	f.Add(uint8(8), uint64(1), uint8(0), uint8(0), uint8(16), false)
+	f.Add(uint8(64), uint64(7), uint8(3), uint8(1), uint8(128), true)
+	f.Add(uint8(33), uint64(99), uint8(1), uint8(2), uint8(4), false)
+	f.Fuzz(func(t *testing.T, rawN uint8, seed uint64, rawD, rawStop, rawMax uint8, delta bool) {
+		n := int(rawN)%120 + 2
+		maxRounds := int(rawMax)%(2*n) + 1
+		tc := floodCase{
+			n: n, extra: int(seed % 4), seed: seed,
+			extraD:    int64(rawD) % int64(n),
+			maxRounds: maxRounds,
+			delta:     delta,
+			metrics:   true,
+		}
+		switch rawStop % 3 {
+		case 1:
+			tc.stopNode = n - 1
+		case 2:
+			tc.stopAll = true
+		}
+		runBothPaths(t, tc)
+	})
+}

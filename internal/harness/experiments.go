@@ -6,6 +6,7 @@ import (
 
 	"dyndiam/internal/adversaries"
 	"dyndiam/internal/bitio"
+	"dyndiam/internal/bitkernel"
 	"dyndiam/internal/dynet"
 	"dyndiam/internal/obs"
 	"dyndiam/internal/protocols/consensus"
@@ -19,39 +20,33 @@ import (
 // Shared across cells so merged histograms agree on one layout.
 var sweepRoundBounds = []int64{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24}
 
-// MeasureDynamicDiameter runs the adversary (with a passive all-receive
-// protocol) for horizon rounds and returns the exact dynamic diameter it
-// produced, or an error if the horizon did not certify it.
+// MeasureDynamicDiameter drives the adversary (with all-receive action
+// commitments) for horizon rounds and returns the exact dynamic diameter
+// it produced, or an error if the horizon did not certify it.
+//
+// Topologies are streamed straight into a bitkernel.DiameterTracker — the
+// incremental causal closure — so nothing is cloned or retained: the
+// measurement runs in O(n²/64) space regardless of the horizon, where the
+// old trace-then-recompute route kept every round's graph alive.
 func MeasureDynamicDiameter(adv dynet.Adversary, n, horizon int) (int, error) {
-	ms := make([]dynet.Machine, n)
-	for v := range ms {
-		ms[v] = passiveMachine{}
+	if n <= 0 {
+		return 0, fmt.Errorf("harness: cannot measure diameter over %d nodes", n)
 	}
-	tr := &dynet.Trace{KeepTopologies: true}
-	e := &dynet.Engine{
-		Machines:   ms,
-		Adv:        adv,
-		Workers:    1,
-		Trace:      tr,
-		Terminated: func([]dynet.Machine) bool { return false },
+	actions := make([]dynet.Action, n) // zero value is Receive
+	tr := bitkernel.NewDiameterTracker(n)
+	for r := 1; r <= horizon; r++ {
+		g := adv.Topology(r, actions)
+		if g == nil || g.N() != n {
+			return 0, fmt.Errorf("harness: adversary returned topology over wrong node count in round %d", r)
+		}
+		tr.Advance(g)
 	}
-	if _, err := e.Run(horizon); err != nil {
-		return 0, err
-	}
-	d, exact := dynet.DynamicDiameter(tr.Topologies())
+	d, exact := tr.Result()
 	if !exact {
 		return d, fmt.Errorf("harness: horizon %d did not certify the diameter (lower bound %d)", horizon, d)
 	}
 	return d, nil
 }
-
-// passiveMachine never sends and never decides; it exists so the engine
-// can drive an adversary to record its topology sequence.
-type passiveMachine struct{}
-
-func (passiveMachine) Step(int) (dynet.Action, dynet.Message) { return dynet.Receive, dynet.Message{} }
-func (passiveMachine) Deliver(int, []dynet.Message)           {}
-func (passiveMachine) Output() (int64, bool)                  { return 0, false }
 
 // GapRow is one row of the E4 headline table.
 type GapRow struct {
@@ -88,9 +83,10 @@ func GapTable(sizes []int, targetDiam int, seed uint64) ([]GapRow, error) {
 			inputs := make([]int64, n)
 			inputs[0] = 1
 			ms := dynet.NewMachines(flood.CFlood{}, n, inputs, seed^uint64(n), extra)
-			e := &dynet.Engine{Machines: ms, Adv: makeAdv(), Workers: 1,
-				Metrics: reg, Terminated: dynet.NodeDecided(0)}
-			res, err := e.Run(4 * n)
+			e := &dynet.Engine{Machines: ms, Adv: makeAdv(), Workers: 1, Metrics: reg}
+			// CFlood qualifies for the word-packed fast path; RunFlood
+			// returns results bit-identical to the message path.
+			res, err := e.RunFlood(4*n, dynet.StopNode(0))
 			if err != nil || !res.Done {
 				return 0, false, fmt.Errorf("harness: cflood did not confirm: %v", err)
 			}

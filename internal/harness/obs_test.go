@@ -54,6 +54,25 @@ func TestSweepMetricsParallelEqualSequential(t *testing.T) {
 	}
 }
 
+// TestGapTableUsesFloodFastPath pins that the E4 sweep's CFLOOD runs go
+// through the word-packed fast path: each cell runs known-D and unknown-D
+// once, so the merged registry must count exactly two fast-path runs per
+// cell.
+func TestGapTableUsesFloodFastPath(t *testing.T) {
+	EnableSweepMetrics()
+	sizes := []int{24, 32}
+	if _, err := GapTable(sizes, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	reg := TakeSweepMetrics()
+	if reg == nil {
+		t.Fatal("TakeSweepMetrics returned nil after enablement")
+	}
+	if got := reg.Counter("engine_floodfast_runs_total").Value(); got != int64(2*len(sizes)) {
+		t.Fatalf("engine_floodfast_runs_total = %d, want %d", got, 2*len(sizes))
+	}
+}
+
 // TestSweepMetricsDisabledByDefault pins the zero-overhead-when-off side:
 // without enablement, cells see a nil registry and TakeSweepMetrics has
 // nothing to return.

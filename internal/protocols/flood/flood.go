@@ -105,6 +105,36 @@ func (m *cfloodMachine) Deliver(r int, msgs []dynet.Message) {
 	m.informed = true
 }
 
+// FloodSpec implements dynet.BitFlooder, qualifying CFlood for the
+// engine's word-packed fast path. TokenBits is the exact uvarint wire
+// size Step would pay per message.
+func (m *cfloodMachine) FloodSpec() dynet.FloodSpec {
+	s := dynet.FloodSpec{Source: m.source, D: m.d, Informed: m.informed, Done: m.done}
+	if m.informed {
+		var w bitio.Writer
+		w.WriteUvarint(uint64(m.token))
+		s.Token = m.token
+		s.TokenBits = w.Len()
+	}
+	return s
+}
+
+// SyncFlood implements dynet.BitFlooder: it writes back the state an
+// equivalent message-passing execution of `rounds` rounds would leave.
+// An informed node holds the token; the source has confirmed iff some
+// executed round reached its diameter bound (Step sets done at the first
+// round r >= d, so after rounds >= 1 executed rounds, done iff
+// rounds >= d).
+func (m *cfloodMachine) SyncFlood(informed bool, token int64, rounds int) {
+	if informed && !m.informed {
+		m.informed = true
+		m.token = token
+	}
+	if m.cfg.ID == m.source && m.informed && rounds >= m.d {
+		m.done = true
+	}
+}
+
 func (m *cfloodMachine) Output() (int64, bool) {
 	if m.cfg.ID == m.source {
 		if m.done {
