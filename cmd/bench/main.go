@@ -310,6 +310,50 @@ func workloads(short bool) []struct {
 			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
 			b.ReportMetric(float64(events)/float64(b.N), "events/op")
 		}},
+		// EngineRingFlood with observers attached: since obs v2 the fast
+		// path accepts a sink and emits round aggregates instead of
+		// declining, so the gap to EngineRingFlood is the fast path's
+		// observation overhead, and the gap to EngineRingFloodObserved is
+		// the speedup observed runs keep. The floodfast-runs counter
+		// proves every iteration really took the fast path.
+		{"EngineRingFloodObservedFast", func(b *testing.B) {
+			b.ReportAllocs()
+			g := dyndiam.Ring(ringN)
+			sink := dyndiam.NewObsRing(1 << 16)
+			reg := dyndiam.NewMetricsRegistry()
+			rounds := 0
+			var events int64
+			for i := 0; i < b.N; i++ {
+				sink.Reset()
+				inputs := make([]int64, ringN)
+				inputs[0] = 1
+				ms := dyndiam.NewMachines(dyndiam.CFlood{}, ringN, inputs, uint64(i),
+					map[string]int64{dyndiam.ExtraDiameter: int64(ringN / 2)})
+				eng := &dyndiam.Engine{
+					Machines: ms,
+					Adv:      dyndiam.StaticAdversary(g),
+					Workers:  1,
+					Obs:      sink,
+					Metrics:  reg,
+				}
+				res, err := eng.RunFlood(2*ringN, dyndiam.FloodStopNode(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Done {
+					b.Fatal("flood did not confirm")
+				}
+				rounds += res.Rounds
+				events += int64(sink.Len()) + int64(sink.Dropped())
+			}
+			for _, p := range reg.Snapshot() {
+				if p.Name == "engine_floodfast_runs_total" && p.Value != int64(b.N) {
+					b.Fatalf("fast path ran %d of %d iterations (silent fallback)", p.Value, b.N)
+				}
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		}},
 	}
 }
 

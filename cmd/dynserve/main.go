@@ -20,6 +20,10 @@
 // -checkpoint FILE saves completed results on shutdown (SIGINT/SIGTERM);
 // with -resume, results already recorded there are preloaded so a
 // restarted service answers known keys from cache.
+//
+// Introspection: every job records a flight recording browsable at
+// /debug/jobs and /debug/jobs/<key> (plus .../trace for Perfetto), and
+// -pprof additionally exposes net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +51,7 @@ type options struct {
 	roundBudget int
 	checkpoint  string
 	resume      bool
+	pprof       bool
 }
 
 // parseOptions binds the flag set and parses args into options.
@@ -58,6 +64,7 @@ func parseOptions(fs *flag.FlagSet, args []string) (options, error) {
 	fs.IntVar(&o.roundBudget, "round-budget", 0, "harness round budget per run (0 = keep default)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "save completed results to this file on shutdown")
 	fs.BoolVar(&o.resume, "resume", false, "preload results recorded in the -checkpoint file")
+	fs.BoolVar(&o.pprof, "pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -68,6 +75,25 @@ func parseOptions(fs *flag.FlagSet, args []string) (options, error) {
 		return o, fmt.Errorf("-resume requires -checkpoint FILE")
 	}
 	return o, nil
+}
+
+// buildHandler wraps the service API with the optional pprof surface.
+// The profile handlers are registered on a private mux (never the
+// package-global http.DefaultServeMux), so profiling is strictly opt-in
+// per instance; everything else falls through to the API handler,
+// including the service's own /debug/jobs routes.
+func buildHandler(api http.Handler, withPprof bool) http.Handler {
+	if !withPprof {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
 }
 
 func main() {
@@ -99,10 +125,10 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: opts.addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: opts.addr, Handler: buildHandler(srv.Handler(), opts.pprof)}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	log.Printf("serving experiments on %s (workers=%d queue=%d)", opts.addr, opts.workers, opts.queueCap)
+	log.Printf("serving experiments on %s (workers=%d queue=%d pprof=%v)", opts.addr, opts.workers, opts.queueCap, opts.pprof)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
@@ -29,12 +31,12 @@ func TestParseOptions(t *testing.T) {
 			args: []string{
 				"-addr", "127.0.0.1:9999", "-workers", "8", "-queue", "4",
 				"-job-budget", "30s", "-round-budget", "50000",
-				"-checkpoint", "state.json", "-resume",
+				"-checkpoint", "state.json", "-resume", "-pprof",
 			},
 			want: options{
 				addr: "127.0.0.1:9999", workers: 8, queueCap: 4,
 				jobBudget: 30 * time.Second, roundBudget: 50000,
-				checkpoint: "state.json", resume: true,
+				checkpoint: "state.json", resume: true, pprof: true,
 			},
 		},
 		{
@@ -53,6 +55,40 @@ func TestParseOptions(t *testing.T) {
 				t.Errorf("options = %+v want %+v", got, tc.want)
 			}
 		})
+	}
+}
+
+// get issues one request against h and returns the status code.
+func get(t *testing.T, h http.Handler, path string) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code
+}
+
+func TestBuildHandlerPprof(t *testing.T) {
+	api := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot) // marker: the request reached the API
+	})
+
+	off := buildHandler(api, false)
+	if code := get(t, off, "/debug/pprof/"); code != http.StatusTeapot {
+		t.Errorf("pprof off: /debug/pprof/ = %d, want pass-through to API", code)
+	}
+
+	on := buildHandler(api, true)
+	if code := get(t, on, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/ = %d, want 200 index", code)
+	}
+	if code := get(t, on, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/cmdline = %d, want 200", code)
+	}
+	// Everything else still reaches the service API, including its own
+	// debug routes.
+	for _, path := range []string{"/jobs", "/metrics", "/debug/jobs", "/debug/jobs/abc"} {
+		if code := get(t, on, path); code != http.StatusTeapot {
+			t.Errorf("pprof on: %s = %d, want pass-through to API", path, code)
+		}
 	}
 }
 

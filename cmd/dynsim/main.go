@@ -7,6 +7,15 @@
 //	dynsim -proto cflood -n 128 -adv bounded -d 6          (unknown diameter)
 //	dynsim -proto leader -n 64 -adv random -nprime 56 -c 100
 //	dynsim -proto estimate -n 64 -adv ring -D 32
+//
+// Observed fast-path floods: -floodfast routes cflood/pflood through the
+// word-packed engine path (Engine.RunFlood), which with -obs-out /
+// -obs-trace-out / -metrics-out attached emits round-aggregated
+// events — round_end, frontier, diff_ops — subsampled by -obs-stride,
+// instead of falling back to the slower per-message path:
+//
+//	dynsim -proto cflood -n 100000 -adv deltachurn -floodfast \
+//	    -obs-stride 8 -metrics-out run.prom -obs-trace-out run.json
 package main
 
 import (
@@ -25,8 +34,8 @@ func main() {
 	var (
 		proto     = flag.String("proto", "cflood", "protocol: cflood|pflood|consensus|vialeader|leader|estimate|sum|max|hearfrom|hearfromexact|majority")
 		n         = flag.Int("n", 64, "number of nodes")
-		advName   = flag.String("adv", "random", "adversary: line|ring|star|complete|grid|hypercube|random|bounded|rotating|staller|tinterval|dual")
-		d         = flag.Int("d", 4, "target per-round diameter for -adv bounded; interval length for -adv tinterval")
+		advName   = flag.String("adv", "random", "adversary: line|ring|star|complete|grid|hypercube|random|bounded|rotating|staller|tinterval|dual|deltachurn")
+		d         = flag.Int("d", 4, "target per-round diameter for -adv bounded; interval length for -adv tinterval; rewires per round for -adv deltachurn")
 		dKnown    = flag.Int("D", 0, "known diameter bound handed to the protocol (0 = unknown)")
 		nprime    = flag.Int("nprime", 0, "size estimate N' for leader/vialeader (0 = exact N)")
 		cmil      = flag.Int("c", 200, "N'-accuracy margin c in thousandths")
@@ -35,6 +44,12 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS, 1 = sequential)")
 		traceOut  = flag.String("trace-out", "", "record the execution trace (with topologies) to this file")
 		traceIn   = flag.String("trace-in", "", "analyze a recorded trace instead of running anything")
+
+		floodFast   = flag.Bool("floodfast", false, "run via Engine.RunFlood's word-packed fast path (cflood/pflood only)")
+		obsOut      = flag.String("obs-out", "", "write observed events as JSONL to this file")
+		obsTraceOut = flag.String("obs-trace-out", "", "write observed events as Chrome trace-event JSON to this file")
+		metricsOut  = flag.String("metrics-out", "", "write run metrics as Prometheus text to this file")
+		obsStride   = flag.Int("obs-stride", 0, "fast-path round sampling stride (0 or 1 = every round)")
 	)
 	flag.Parse()
 
@@ -112,13 +127,63 @@ func main() {
 		Workers:           *workers,
 		CheckConnectivity: true,
 		Terminated:        term,
+		ObsRoundStride:    *obsStride,
 	}
 	if *traceOut != "" {
 		eng.Trace = &dyndiam.Trace{KeepTopologies: true}
 	}
-	res, err := eng.Run(*maxRounds)
+	var ring *dyndiam.ObsRing
+	if *obsOut != "" || *obsTraceOut != "" {
+		ring = dyndiam.NewObsRing(1 << 16)
+		eng.Obs = ring
+	}
+	var reg *dyndiam.MetricsRegistry
+	if *metricsOut != "" {
+		reg = dyndiam.NewMetricsRegistry()
+		eng.Metrics = reg
+	}
+
+	var res *dyndiam.Result
+	if *floodFast {
+		if *proto != "cflood" && *proto != "pflood" {
+			log.Fatalf("-floodfast requires -proto cflood or pflood, got %q", *proto)
+		}
+		if *traceOut != "" {
+			log.Fatal("-floodfast is incompatible with -trace-out (a Trace forces the per-message path)")
+		}
+		res, err = eng.RunFlood(*maxRounds, dyndiam.FloodStopNode(0))
+	} else {
+		res, err = eng.Run(*maxRounds)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if ring != nil {
+		if *obsOut != "" {
+			if err := writeFile(*obsOut, func(f *os.File) error {
+				return dyndiam.WriteEventsJSONL(f, ring.Events())
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("events        %s (%d events, %d dropped)\n", *obsOut, ring.Len(), ring.Dropped())
+		}
+		if *obsTraceOut != "" {
+			if err := writeFile(*obsTraceOut, func(f *os.File) error {
+				return dyndiam.WriteChromeTrace(f, ring.Events())
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("chrome trace  %s (load at ui.perfetto.dev)\n", *obsTraceOut)
+		}
+	}
+	if reg != nil {
+		if err := writeFile(*metricsOut, func(f *os.File) error {
+			return dyndiam.WriteMetricsText(f, reg)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics       %s\n", *metricsOut)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -199,8 +264,35 @@ func buildAdversary(name string, n, d int, seed uint64) (dyndiam.Adversary, erro
 			chords = append(chords, [2]int{i, (i + n/2) % n})
 		}
 		return dyndiam.DualGraphAdversary(dyndiam.Ring(n), chords, 0.5, seed), nil
+	case "deltachurn":
+		// Native delta adversary: spanning tree + n/8 churn slots, d of
+		// which rewire per round as an O(d) edge-op script — the regime
+		// where the fast path's delta ingestion pays off at huge n.
+		extra := n / 8
+		if extra < 1 {
+			extra = 1
+		}
+		rewires := d
+		if rewires > extra {
+			rewires = extra
+		}
+		return dyndiam.DeltaChurnAdversary(n, extra, rewires, seed), nil
 	}
 	return nil, fmt.Errorf("unknown adversary %q", name)
+}
+
+// writeFile creates path, runs fn on it, and closes it, reporting the
+// first error.
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // analyzeTrace loads a recorded execution and reports its aggregate

@@ -10,6 +10,7 @@ func TestBuildAdversary(t *testing.T) {
 		{"line", 8}, {"ring", 8}, {"star", 8}, {"complete", 6},
 		{"grid", 16}, {"hypercube", 8}, {"random", 10}, {"bounded", 10},
 		{"rotating", 7}, {"staller", 5}, {"tinterval", 9}, {"dual", 10},
+		{"deltachurn", 12},
 	}
 	for _, c := range good {
 		adv, err := buildAdversary(c.name, c.n, 3, 1)

@@ -8,9 +8,11 @@
 //	obsview -trace-out run.json ...       also convert to a Chrome trace
 //
 // The summary reports per-kind event counts, the round span, per-name
-// phase-entry counts with run-length statistics, lock churn, and the
-// total send/bit volume — the quantities the paper's round and
-// communication bounds are stated in.
+// phase-entry counts with run-length statistics, span durations (matched
+// begin/end pairs per track/node/name lane, plus unmatched counts), the
+// flood frontier's final coverage, lock churn, and the total send/bit
+// volume — the quantities the paper's round and communication bounds are
+// stated in.
 package main
 
 import (
@@ -100,6 +102,10 @@ func summarize(events []dyndiam.ObsEvent) string {
 	lastEnter := map[[2]int32]int32{} // (track,node) -> round of last phase entry
 	var spanTotal, spanCount int64
 	locks, rollbacks, spoils := 0, 0, 0
+	spans := map[string]*spanStat{}
+	var spanNames []string
+	openBegins := map[spanLane][]int32{} // lane -> stack of open begin times
+	var frontierLast *dyndiam.ObsEvent
 
 	for _, ev := range events {
 		if ev.Round < minRound {
@@ -142,7 +148,39 @@ func summarize(events []dyndiam.ObsEvent) string {
 			rollbacks++
 		case dyndiam.ObsSpoilMark:
 			spoils++
+		case dyndiam.ObsSpanBegin, dyndiam.ObsSpanEnd:
+			name := ev.Name.String()
+			if name == "" {
+				name = "span"
+			}
+			st := spans[name]
+			if st == nil {
+				st = &spanStat{}
+				spans[name] = st
+				spanNames = append(spanNames, name)
+			}
+			lane := spanLane{track: ev.Track, node: ev.Node, name: name}
+			if ev.Kind == dyndiam.ObsSpanBegin {
+				openBegins[lane] = append(openBegins[lane], ev.Round)
+				break
+			}
+			// End: match the innermost open begin on the same lane.
+			stack := openBegins[lane]
+			if len(stack) == 0 {
+				st.strayEnds++
+				break
+			}
+			begin := stack[len(stack)-1]
+			openBegins[lane] = stack[:len(stack)-1]
+			st.matched++
+			st.total += int64(ev.Round - begin)
+		case dyndiam.ObsFrontier:
+			ev := ev
+			frontierLast = &ev
 		}
+	}
+	for lane, stack := range openBegins {
+		spans[lane.name].openBegins += len(stack)
 	}
 
 	fmt.Fprintf(&b, "%d events over rounds %d..%d\n", len(events), minRound, maxRound)
@@ -174,7 +212,40 @@ func summarize(events []dyndiam.ObsEvent) string {
 				float64(spanTotal)/float64(spanCount))
 		}
 	}
+	if len(spanNames) > 0 {
+		fmt.Fprintf(&b, "spans:\n")
+		for _, name := range spanNames {
+			st := spans[name]
+			if st.matched > 0 {
+				fmt.Fprintf(&b, "  %-14s %6d matched, total %d ticks, mean %.1f\n",
+					name, st.matched, st.total, float64(st.total)/float64(st.matched))
+			}
+			if st.openBegins > 0 || st.strayEnds > 0 {
+				fmt.Fprintf(&b, "  %-14s %6d unclosed begins, %d stray ends\n",
+					name, st.openBegins, st.strayEnds)
+			}
+		}
+	}
+	if frontierLast != nil {
+		fmt.Fprintf(&b, "frontier: %d informed at round %d (last sample: %d newly)\n",
+			frontierLast.B, frontierLast.Round, frontierLast.A)
+	}
 	return b.String()
+}
+
+// spanLane identifies one span nesting stack: begins and ends match only
+// within the same (track, node, name), mirroring the Chrome exporter.
+type spanLane struct {
+	track, node int32
+	name        string
+}
+
+// spanStat aggregates one span name across every lane it appears on.
+type spanStat struct {
+	matched    int   // begin/end pairs
+	total      int64 // summed logical durations of matched pairs
+	openBegins int   // begins never closed
+	strayEnds  int   // ends with no open begin on their lane
 }
 
 type phaseStat struct {

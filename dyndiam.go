@@ -474,7 +474,13 @@ type (
 	MetricsRegistry = obs.Registry
 	// MetricPoint is one row of a MetricsRegistry snapshot.
 	MetricPoint = obs.MetricPoint
+	// ObsName is an interned event name (the ObsEvent.Name field).
+	ObsName = obs.Key
 )
+
+// InternObsKey interns name for use in ObsEvent.Name. Interning is
+// idempotent and the zero ObsName renders as "".
+func InternObsKey(name string) ObsName { return obs.Intern(name) }
 
 // Event kinds (see internal/obs for per-kind field layouts).
 const (
@@ -487,8 +493,22 @@ const (
 	ObsLockRollback = obs.KindLockRollback
 	ObsSpoilMark    = obs.KindSpoilMark
 	ObsFault        = obs.KindFault
+	ObsSpanBegin    = obs.KindSpanBegin
+	ObsSpanEnd      = obs.KindSpanEnd
+	ObsFrontier     = obs.KindFrontier
 	ObsCustom       = obs.KindCustom
 )
+
+// ObsSpan is an open span handle: BeginSpan emits the begin event and
+// End closes it. Spans live on logical clocks (engine rounds, harness
+// cell indices, serve milliseconds) and surface as complete events in
+// WriteChromeTrace output.
+type ObsSpan = obs.Span
+
+// BeginSpan opens a span on sink; a nil sink yields an inert handle.
+func BeginSpan(sink ObsSink, name string, track, node, t int32, arg int64) ObsSpan {
+	return obs.BeginSpan(sink, obs.Intern(name), track, node, t, arg)
+}
 
 // NewObsRing returns a ring sink holding the last capacity events.
 func NewObsRing(capacity int) *ObsRing { return obs.NewRing(capacity) }
@@ -517,6 +537,16 @@ func WriteMetricsText(w io.Writer, r *MetricsRegistry) error { return obs.WriteM
 var (
 	EnableSweepMetrics = harness.EnableSweepMetrics
 	TakeSweepMetrics   = harness.TakeSweepMetrics
+)
+
+// EnableSweepSpans turns on per-cell span capture for subsequent harness
+// sweeps (one Track-1 "sweep_cell" span per cell on the cell-index
+// clock); TakeSweepSpans returns the captured stream (nil if never
+// enabled) and disables capture. Captures are bit-identical at every
+// SetSweepWorkers setting.
+var (
+	EnableSweepSpans = harness.EnableSweepSpans
+	TakeSweepSpans   = harness.TakeSweepSpans
 )
 
 // --- Experiment serving (package serve) ---

@@ -48,8 +48,37 @@ type FloodConfig struct {
 	// read, not retained.
 	Seed Bits
 	// OnRound, when non-nil, observes each executed round's sender and
-	// payload-bit totals (the engine layer's histogram hook).
+	// payload-bit totals (the engine layer's histogram hook). It fires in
+	// the commitment phase, before the adversary fixes the topology, so
+	// the observation sequence matches the message-passing engine's even
+	// on runs aborted by a topology error.
 	OnRound func(r, senders, bits int)
+	// OnRoundDone, when non-nil, observes each completed round's full
+	// aggregate after delivery and termination evaluation. Stats is
+	// passed by value; the callback must not retain references into
+	// engine state. This is the engine layer's round-aggregated event
+	// hook (frontier samples, sampled round events).
+	OnRoundDone func(stats RoundStats)
+}
+
+// RoundStats is one completed flood round's aggregate, handed by value to
+// FloodConfig.OnRoundDone.
+type RoundStats struct {
+	// R is the 1-based round number.
+	R int
+	// Senders is the number of informed nodes at the start of the round
+	// (each sent the token).
+	Senders int
+	// Bits is Senders * TokenBits.
+	Bits int
+	// Newly is the number of nodes first informed by this round's
+	// delivery phase.
+	Newly int
+	// Informed is the total informed count after delivery.
+	Informed int
+	// Done reports whether the stop condition held at the end of the
+	// round (this is the run's final round).
+	Done bool
 }
 
 // FloodResult summarizes a FloodEngine run, mirroring the fields of the
@@ -130,6 +159,7 @@ func (e *FloodEngine) Run(cfg FloodConfig, topo Topologies, maxRounds int) (Floo
 		// touches each informed node's neighborhood once; the receiver
 		// side exits each uninformed node's scan at its first informed
 		// neighbor.
+		newlyCount := 0
 		if count < n {
 			newly.Zero()
 			if 2*count <= n {
@@ -166,6 +196,7 @@ func (e *FloodEngine) Run(cfg FloodConfig, topo Topologies, maxRounds int) (Floo
 			if delta := newly.Popcount(); delta > 0 {
 				informed.Or(newly)
 				count += delta
+				newlyCount = delta
 			}
 		}
 
@@ -179,6 +210,12 @@ func (e *FloodEngine) Run(cfg FloodConfig, topo Topologies, maxRounds int) (Floo
 			done = r >= cfg.D
 		default:
 			done = informed.Test(cfg.StopNode)
+		}
+		if cfg.OnRoundDone != nil {
+			cfg.OnRoundDone(RoundStats{
+				R: r, Senders: senders, Bits: roundBits,
+				Newly: newlyCount, Informed: count, Done: done,
+			})
 		}
 		if done {
 			res.Rounds = r

@@ -42,6 +42,13 @@ type Engine struct {
 	// engine_messages_total, engine_bits_total) and per-round histograms
 	// (engine_round_senders, engine_round_bits). Nil means no metric work.
 	Metrics *obs.Registry
+	// ObsRoundStride subsamples the flood fast path's round-aggregated
+	// event stream: with stride k only every k-th round emits its
+	// round_end/frontier/diff_ops aggregate (the final round always
+	// does), which bounds event volume at huge N. 0 or 1 means every
+	// round. Metrics are never subsampled, and the message path ignores
+	// the stride (it reports individual sends, not aggregates).
+	ObsRoundStride int
 
 	// Plan, when non-nil and enabled, injects deterministic seeded faults
 	// between the adversary's topology and message delivery: crash/rejoin

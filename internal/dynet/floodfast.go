@@ -6,6 +6,19 @@ import (
 
 	"dyndiam/internal/bitkernel"
 	"dyndiam/internal/graph"
+	"dyndiam/internal/obs"
+)
+
+// Interned event names of the fast path's aggregate stream, resolved once
+// at package init so emission sites stay allocation-free.
+var (
+	// keyFloodFast names the span wrapping one fast-path run: begin at
+	// t=0 with A = node count, end at t = final round with A = informed
+	// count (-1 when the run errored).
+	keyFloodFast = obs.Intern("flood_fast")
+	// keyDiffOps names the per-round KindCustom sample of delta-adversary
+	// edge-diff operations (A = ops applied this round).
+	keyDiffOps = obs.Intern("diff_ops")
 )
 
 // This file is the engine-level fast path for CFLOOD-style knowledge-set
@@ -68,7 +81,15 @@ func StopAll() FloodStop { return FloodStop{all: true} }
 // word-packed fast path when the machines qualify (TryFloodFast) and
 // falling back to the message-passing Run otherwise. The stop condition
 // is derived from stop — e.Terminated is overwritten, not consulted. Both
-// paths return bit-identical results.
+// paths return bit-identical results and identical metric snapshots; an
+// attached Obs receives the round-aggregated stream on the fast path and
+// the per-message stream on the fallback.
+//
+// RunFlood is a hotpathalloc root: dynlint proves interprocedurally that
+// the observed fast path emits its aggregate events without allocating,
+// so attaching an Obs cannot regress the steady state the alloc tests pin.
+//
+//lint:hotpath
 func (e *Engine) RunFlood(maxRounds int, stop FloodStop) (*Result, error) {
 	if res, ok, err := e.TryFloodFast(maxRounds, stop); ok {
 		return res, err
@@ -76,7 +97,7 @@ func (e *Engine) RunFlood(maxRounds int, stop FloodStop) (*Result, error) {
 	if stop.all {
 		e.Terminated = AllDecided
 	} else {
-		e.Terminated = NodeDecided(stop.node)
+		e.Terminated = NodeDecided(stop.node) //lint:allow hotpathalloc one-time predicate construction before the run
 	}
 	return e.Run(maxRounds)
 }
@@ -88,16 +109,24 @@ func (e *Engine) RunFlood(maxRounds int, stop FloodStop) (*Result, error) {
 //   - every machine implements BitFlooder and their specs agree on
 //     (Source, D), with the source informed, no machine done, and all
 //     informed machines holding one token;
-//   - no observer features that watch individual rounds or messages are
-//     attached (Obs, Trace, fault Plan) — Metrics is supported and filled
-//     with exactly the values Run would produce;
+//   - no features that must watch individual messages are attached
+//     (Trace, fault Plan). Metrics is supported and filled with exactly
+//     the values Run would produce. Obs is supported in round-aggregated
+//     mode: the kernel's per-round senders/bits/frontier/diff-ops
+//     aggregates are emitted as preallocated events (KindRoundEnd,
+//     KindFrontier, and a "diff_ops" KindCustom under delta adversaries),
+//     sampled every ObsRoundStride rounds, inside a "flood_fast" span —
+//     not the per-message KindSend stream, which would defeat the point
+//     of the word-packed kernel;
 //   - maxRounds >= 1 and the stop node is in range.
 //
 // Workers is ignored: the fast path is sequential, and sequential and
 // parallel message-path execution are bit-identical anyway.
+//
+//lint:hotpath
 func (e *Engine) TryFloodFast(maxRounds int, stop FloodStop) (*Result, bool, error) {
 	n := len(e.Machines)
-	if n == 0 || maxRounds < 1 || e.Obs != nil || e.Trace != nil || e.Plan.Enabled() {
+	if n == 0 || maxRounds < 1 || e.Trace != nil || e.Plan.Enabled() {
 		return nil, false, nil
 	}
 	if !stop.all && (stop.node < 0 || stop.node >= n) {
@@ -109,14 +138,14 @@ func (e *Engine) TryFloodFast(maxRounds int, stop FloodStop) (*Result, bool, err
 		tokenBits int
 		haveTok   bool
 	)
-	seed := bitkernel.New(n)
+	seed := bitkernel.New(n) //lint:allow hotpathalloc setup phase, before the kernel loop
 	firstInformed := -1
 	for v, m := range e.Machines {
 		bf, ok := m.(BitFlooder)
 		if !ok {
 			return nil, false, nil
 		}
-		s := bf.FloodSpec()
+		s := bf.FloodSpec() //lint:allow hotpathalloc machines own their spec-encoding allocation budget (pinned by AllocsPerRun tests)
 		if v == 0 {
 			src, d = s.Source, s.D
 		} else if s.Source != src || s.D != d {
@@ -143,39 +172,66 @@ func (e *Engine) TryFloodFast(maxRounds int, stop FloodStop) (*Result, bool, err
 	if budget == 0 {
 		budget = Budget(n)
 	}
-	sendersHist := e.Metrics.Histogram("engine_round_senders", RoundHistBounds)
-	bitsHist := e.Metrics.Histogram("engine_round_bits", RoundHistBounds)
+	sendersHist := e.Metrics.Histogram("engine_round_senders", RoundHistBounds) //lint:allow hotpathalloc setup-phase registry lookup, amortized across the run
+	bitsHist := e.Metrics.Histogram("engine_round_bits", RoundHistBounds)       //lint:allow hotpathalloc setup-phase registry lookup, amortized across the run
 	if tokenBits > budget {
 		// Run would reject the lowest-id sender in round 1, before
 		// consulting the adversary; every sender carries the same
 		// constant token, so round 1 decides.
-		return nil, true, budgetError(firstInformed, 1, tokenBits, budget)
+		return nil, true, budgetError(firstInformed, 1, tokenBits, budget) //lint:allow hotpathalloc error path terminates the run
 	}
 
-	topo := newFloodTopo(e, n)
+	topo := newFloodTopo(e, n) //lint:allow hotpathalloc setup phase: the topology adapter preallocates its round buffers
 	cfg := bitkernel.FloodConfig{
 		N: n, Source: src, D: d, TokenBits: tokenBits,
 		StopAll: stop.all, StopNode: stop.node, Seed: seed,
 	}
 	if e.Metrics != nil {
-		cfg.OnRound = func(_, senders, payloadBits int) {
+		cfg.OnRound = func(_, senders, payloadBits int) { //lint:allow hotpathalloc setup-phase closure construction; the body is allocation-free
 			sendersHist.Observe(int64(senders))
 			bitsHist.Observe(int64(payloadBits))
 		}
 	}
+	if e.Obs != nil {
+		// Round-aggregated observability: sample the kernel's per-round
+		// aggregates every stride rounds (the final round always emits, so
+		// short runs and termination rounds never vanish from the stream).
+		// Event structs are fixed-size values into a preallocated sink —
+		// the emission itself is allocation-free, proven interprocedurally
+		// by hotpathalloc from the RunFlood root.
+		stride := e.ObsRoundStride
+		if stride < 1 {
+			stride = 1
+		}
+		sink := e.Obs
+		isDelta := topo.delta != nil
+		cfg.OnRoundDone = func(s bitkernel.RoundStats) { //lint:allow hotpathalloc setup-phase closure construction; the body is allocation-free
+			if s.R%stride != 0 && !s.Done && s.R != maxRounds {
+				return
+			}
+			r := int32(s.R)
+			sink.Emit(obs.Event{Kind: obs.KindRoundEnd, Round: r, A: int64(s.Senders), B: int64(s.Bits)})
+			sink.Emit(obs.Event{Kind: obs.KindFrontier, Round: r, A: int64(s.Newly), B: int64(s.Informed)})
+			if isDelta {
+				sink.Emit(obs.Event{Kind: obs.KindCustom, Round: r, A: int64(topo.lastDiff), Name: keyDiffOps})
+			}
+		}
+	}
+	runSpan := obs.BeginSpan(e.Obs, keyFloodFast, 0, int32(src), 0, int64(n))
 	var fe bitkernel.FloodEngine
 	fres, err := fe.Run(cfg, topo, maxRounds)
 	if err != nil {
+		runSpan.End(int32(fres.Rounds), -1)
 		return nil, true, err
 	}
 
-	res := &Result{
+	res := &Result{ //lint:allow hotpathalloc post-kernel result assembly
 		Rounds:   fres.Rounds,
 		Done:     fres.Done,
 		Messages: fres.Messages,
 		Bits:     fres.Bits,
-		Outputs:  make([]int64, n),
-		Decided:  make([]bool, n),
+		Outputs:  make([]int64, n), //lint:allow hotpathalloc post-kernel result assembly
+		Decided:  make([]bool, n),  //lint:allow hotpathalloc post-kernel result assembly
 	}
 	for v, m := range e.Machines {
 		bf := m.(BitFlooder)
@@ -183,12 +239,13 @@ func (e *Engine) TryFloodFast(maxRounds int, stop FloodStop) (*Result, bool, err
 		res.Outputs[v], res.Decided[v] = m.Output()
 	}
 	if e.Metrics != nil {
-		e.Metrics.Counter("engine_rounds_total").Add(int64(res.Rounds))
-		e.Metrics.Counter("engine_messages_total").Add(int64(res.Messages))
-		e.Metrics.Counter("engine_bits_total").Add(int64(res.Bits))
-		e.Metrics.Counter("engine_floodfast_runs_total").Add(1)
-		e.Metrics.Counter("engine_floodfast_diff_ops_total").Add(int64(topo.diffOps))
+		e.Metrics.Counter("engine_rounds_total").Add(int64(res.Rounds))               //lint:allow hotpathalloc post-kernel metrics flush
+		e.Metrics.Counter("engine_messages_total").Add(int64(res.Messages))           //lint:allow hotpathalloc post-kernel metrics flush
+		e.Metrics.Counter("engine_bits_total").Add(int64(res.Bits))                   //lint:allow hotpathalloc post-kernel metrics flush
+		e.Metrics.Counter("engine_floodfast_runs_total").Add(1)                       //lint:allow hotpathalloc post-kernel metrics flush
+		e.Metrics.Counter("engine_floodfast_diff_ops_total").Add(int64(topo.diffOps)) //lint:allow hotpathalloc post-kernel metrics flush
 	}
+	runSpan.End(int32(fres.Rounds), int64(fres.InformedCount))
 	return res, true, nil
 }
 
@@ -199,17 +256,18 @@ func (e *Engine) TryFloodFast(maxRounds int, stop FloodStop) (*Result, bool, err
 // mutable CSR snapshot that each round's edge-diff script mutates in
 // place instead of materializing a fresh graph.
 type floodTopo struct {
-	adv     Adversary
-	delta   DeltaAdversary // non-nil when adv implements it
-	n       int
-	actions []Action
-	prev    bitkernel.Bits // informed snapshot behind actions
-	snap    *graph.Graph   // delta path's mutable round topology
-	diff    EdgeDiff
-	diffOps int
-	check   bool // connectivity checking, from Engine.CheckConnectivity
-	dist    []int32
-	queue   []int32
+	adv      Adversary
+	delta    DeltaAdversary // non-nil when adv implements it
+	n        int
+	actions  []Action
+	prev     bitkernel.Bits // informed snapshot behind actions
+	snap     *graph.Graph   // delta path's mutable round topology
+	diff     EdgeDiff
+	diffOps  int
+	lastDiff int  // diff ops applied by the most recent round (obs sample)
+	check    bool // connectivity checking, from Engine.CheckConnectivity
+	dist     []int32
+	queue    []int32
 }
 
 func newFloodTopo(e *Engine, n int) *floodTopo {
@@ -250,10 +308,12 @@ func (t *floodTopo) Round(r int, informed bitkernel.Bits) (*graph.Graph, error) 
 	if t.delta != nil && r > 1 {
 		t.diff.Reset()
 		t.delta.Diff(r, t.actions, &t.diff) //lint:allow hotpathalloc adversaries own their per-round script allocation budget
-		t.diffOps += t.diff.Len()
+		t.lastDiff = t.diff.Len()
+		t.diffOps += t.lastDiff
 		t.diff.Apply(t.snap)
 		g = t.snap
 	} else {
+		t.lastDiff = 0
 		g = t.adv.Topology(r, t.actions) //lint:allow hotpathalloc adversaries own their per-round topology allocation budget
 		if t.delta != nil && g != nil && g.N() == t.n {
 			// Base round: seed the mutable snapshot the later diffs edit.

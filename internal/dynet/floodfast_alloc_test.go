@@ -5,6 +5,7 @@ import (
 
 	"dyndiam/internal/dynet"
 	"dyndiam/internal/graph"
+	"dyndiam/internal/obs"
 	"dyndiam/internal/protocols/flood"
 )
 
@@ -42,5 +43,59 @@ func TestFloodFastAllocsIndependentOfRounds(t *testing.T) {
 	short, long := measure(50), measure(800)
 	if long > short+2 {
 		t.Fatalf("allocations grow with round count: %v at 50 rounds, %v at 800", short, long)
+	}
+}
+
+// TestFloodFastObservedAllocsIndependentOfRounds pins the tentpole claim
+// of round-aggregated observability: with an Obs ring and a Metrics
+// registry attached (created once, outside the measured run, as a serving
+// layer would), the fast path's per-run allocations still do not grow
+// with the number of rounds — event emission into the preallocated ring
+// is allocation-free even at stride 1.
+func TestFloodFastObservedAllocsIndependentOfRounds(t *testing.T) {
+	n := 64
+	g := graph.New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(v, v+1)
+	}
+	adv := dynet.AdversaryFunc(func(int, []dynet.Action) *graph.Graph { return g })
+	inputs := make([]int64, n)
+	inputs[0] = 7
+	extra := map[string]int64{flood.ExtraD: 1 << 20} // source never confirms
+
+	reg := obs.NewRegistry()
+	// Warm the registry so the measured runs hit existing handles, the way
+	// a long-lived serving process would.
+	for _, name := range []string{
+		"engine_rounds_total", "engine_messages_total", "engine_bits_total",
+		"engine_floodfast_runs_total", "engine_floodfast_diff_ops_total",
+	} {
+		reg.Counter(name)
+	}
+	reg.Histogram("engine_round_senders", dynet.RoundHistBounds)
+	reg.Histogram("engine_round_bits", dynet.RoundHistBounds)
+	ring := obs.NewRing(4096)
+
+	measure := func(maxRounds int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			ring.Reset()
+			e := &dynet.Engine{
+				Machines: dynet.NewMachines(flood.CFlood{}, n, inputs, 1, extra),
+				Adv:      adv,
+				Obs:      ring,
+				Metrics:  reg,
+			}
+			res, ok, err := e.TryFloodFast(maxRounds, dynet.StopAll())
+			if err != nil || !ok {
+				t.Fatalf("fast path: ok=%v err=%v", ok, err)
+			}
+			if res.Done {
+				t.Fatal("run terminated; rounds not exercised")
+			}
+		})
+	}
+	short, long := measure(50), measure(800)
+	if long > short+2 {
+		t.Fatalf("observed allocations grow with round count: %v at 50 rounds, %v at 800", short, long)
 	}
 }

@@ -49,6 +49,8 @@ type floodCase struct {
 	delta     bool // drive the fast path through DeltaFrom
 	metrics   bool
 	connCheck bool
+	observed  bool // attach an Obs ring to both engines
+	stride    int  // fast path's ObsRoundStride (0 = every round)
 }
 
 func (tc floodCase) stop() dynet.FloodStop {
@@ -82,6 +84,9 @@ func runBothPaths(t *testing.T, tc floodCase) *dynet.Result {
 		Metrics:           regMsg,
 		CheckConnectivity: tc.connCheck,
 	}
+	if tc.observed {
+		eMsg.Obs = obs.NewRing(1 << 12)
+	}
 	eMsg.Terminated = tc.terminated()
 	wantRes, wantErr := eMsg.Run(tc.maxRounds)
 
@@ -96,10 +101,19 @@ func runBothPaths(t *testing.T, tc floodCase) *dynet.Result {
 		Workers:           1,
 		Metrics:           regFast,
 		CheckConnectivity: tc.connCheck,
+		ObsRoundStride:    tc.stride,
+	}
+	var fastRing *obs.Ring
+	if tc.observed {
+		fastRing = obs.NewRing(1 << 12)
+		eFast.Obs = fastRing
 	}
 	gotRes, ok, gotErr := eFast.TryFloodFast(tc.maxRounds, tc.stop())
 	if !ok {
 		t.Fatalf("%+v: fast path declined", tc)
+	}
+	if tc.observed && fastRing.Len() == 0 {
+		t.Fatalf("%+v: observed fast path emitted no events", tc)
 	}
 	if (wantErr == nil) != (gotErr == nil) {
 		t.Fatalf("%+v: error mismatch: message %v, fast %v", tc, wantErr, gotErr)
@@ -157,10 +171,13 @@ func TestFloodFastMatchesMessagePath(t *testing.T) {
 				case 2:
 					stopAll = true
 				}
-				// Unknown D (pessimistic N-1), generous cap.
+				// Unknown D (pessimistic N-1), generous cap. Observed:
+				// attaching an Obs must neither decline the fast path nor
+				// perturb results or metrics.
 				runBothPaths(t, floodCase{
 					n: n, extra: extra, seed: seed, maxRounds: 2 * n,
 					stopNode: stopNode, stopAll: stopAll, metrics: true, delta: si == 1,
+					observed: true, stride: si,
 				})
 				// Known small D: the source may confirm before full
 				// dissemination — both paths must agree on that too.
@@ -218,10 +235,6 @@ func TestFloodFastDeclines(t *testing.T) {
 		name string
 		mut  func(e *dynet.Engine) (maxRounds int, stop dynet.FloodStop)
 	}{
-		{"obs sink", func(e *dynet.Engine) (int, dynet.FloodStop) {
-			e.Obs = obs.NewRing(16)
-			return 2 * n, dynet.StopNode(0)
-		}},
 		{"trace", func(e *dynet.Engine) (int, dynet.FloodStop) {
 			e.Trace = &dynet.Trace{}
 			return 2 * n, dynet.StopNode(0)
@@ -246,7 +259,7 @@ func TestFloodFastDeclines(t *testing.T) {
 	}
 	// RunFlood must still complete correctly through the fallback.
 	e := mk()
-	e.Obs = obs.NewRing(1 << 12)
+	e.Trace = &dynet.Trace{}
 	res, err := e.RunFlood(2*n, dynet.StopNode(0))
 	if err != nil || !res.Done {
 		t.Fatalf("fallback RunFlood: res=%+v err=%v", res, err)
@@ -267,6 +280,129 @@ func TestRunFloodUsesFastPath(t *testing.T) {
 	}
 	if got := reg.Counter("engine_floodfast_runs_total").Value(); got != 1 {
 		t.Fatalf("engine_floodfast_runs_total = %d, want 1 (fast path not taken)", got)
+	}
+}
+
+// TestFloodFastObservedAggregates pins the round-aggregated event stream's
+// internal consistency at stride 1: the sampled round totals must add up to
+// exactly the run's Result, the frontier must grow monotonically to the
+// span's reported informed count, and diff_ops samples must reconcile with
+// the engine_floodfast_diff_ops_total counter.
+func TestFloodFastObservedAggregates(t *testing.T) {
+	n := 64
+	for _, delta := range []bool{false, true} {
+		reg := obs.NewRegistry()
+		ring := obs.NewRing(1 << 12)
+		adv := randomAdversary(n, 2, 7)
+		if delta {
+			adv = dynet.DeltaFrom(adv)
+		}
+		e := &dynet.Engine{
+			Machines: newFloodMachines(n, 7, 0),
+			Adv:      adv,
+			Metrics:  reg,
+			Obs:      ring,
+		}
+		res, err := e.RunFlood(2*n, dynet.StopAll())
+		if err != nil || !res.Done {
+			t.Fatalf("delta=%v: res=%+v err=%v", delta, res, err)
+		}
+		if got := reg.Counter("engine_floodfast_runs_total").Value(); got != 1 {
+			t.Fatalf("delta=%v: engine_floodfast_runs_total = %d, want 1 (observed run fell off the fast path)", delta, got)
+		}
+
+		events := ring.Events()
+		if ring.Dropped() != 0 {
+			t.Fatalf("delta=%v: ring dropped %d events", delta, ring.Dropped())
+		}
+		keyFloodFast := obs.Intern("flood_fast")
+		keyDiffOps := obs.Intern("diff_ops")
+		if ev := events[0]; ev.Kind != obs.KindSpanBegin || ev.Name != keyFloodFast || ev.A != int64(n) {
+			t.Fatalf("delta=%v: first event is not the flood_fast span begin: %+v", delta, ev)
+		}
+		last := events[len(events)-1]
+		if last.Kind != obs.KindSpanEnd || last.Name != keyFloodFast || last.Round != int32(res.Rounds) {
+			t.Fatalf("delta=%v: last event is not the flood_fast span end at round %d: %+v", delta, res.Rounds, last)
+		}
+
+		var senders, bits, diffOps int64
+		var roundEnds int
+		prevInformed := int64(0)
+		var lastFrontier int64
+		for _, ev := range events {
+			switch ev.Kind {
+			case obs.KindRoundEnd:
+				roundEnds++
+				senders += ev.A
+				bits += ev.B
+			case obs.KindFrontier:
+				if ev.B < prevInformed {
+					t.Fatalf("delta=%v: frontier shrank: %+v after %d", delta, ev, prevInformed)
+				}
+				if ev.A > ev.B {
+					t.Fatalf("delta=%v: newly > informed: %+v", delta, ev)
+				}
+				prevInformed = ev.B
+				lastFrontier = ev.B
+			case obs.KindCustom:
+				if ev.Name == keyDiffOps {
+					if !delta {
+						t.Fatalf("diff_ops event from a non-delta adversary: %+v", ev)
+					}
+					diffOps += ev.A
+				}
+			}
+		}
+		if roundEnds != res.Rounds {
+			t.Fatalf("delta=%v: %d round_end samples at stride 1, want %d", delta, roundEnds, res.Rounds)
+		}
+		if senders != int64(res.Messages) || bits != int64(res.Bits) {
+			t.Fatalf("delta=%v: aggregates (%d senders, %d bits) != result (%d, %d)",
+				delta, senders, bits, res.Messages, res.Bits)
+		}
+		if lastFrontier != int64(n) || last.A != lastFrontier {
+			t.Fatalf("delta=%v: final frontier %d, span end arg %d, want both %d", delta, lastFrontier, last.A, n)
+		}
+		if delta {
+			if want := reg.Counter("engine_floodfast_diff_ops_total").Value(); diffOps != want {
+				t.Fatalf("diff_ops samples sum to %d, counter says %d", diffOps, want)
+			}
+		}
+	}
+}
+
+// TestFloodFastObservedStride checks the sampling contract: with stride k
+// only rounds r ≡ 0 (mod k) emit, except that the final round always does.
+func TestFloodFastObservedStride(t *testing.T) {
+	n, stride := 128, 5
+	ring := obs.NewRing(1 << 12)
+	e := &dynet.Engine{
+		Machines:       newFloodMachines(n, 11, 0),
+		Adv:            randomAdversary(n, 0, 11),
+		Obs:            ring,
+		ObsRoundStride: stride,
+	}
+	res, err := e.RunFlood(2*n, dynet.StopAll())
+	if err != nil || !res.Done {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	sampled := map[int32]bool{}
+	for _, ev := range ring.Events() {
+		if ev.Kind != obs.KindRoundEnd {
+			continue
+		}
+		sampled[ev.Round] = true
+		if ev.Round%int32(stride) != 0 && ev.Round != int32(res.Rounds) {
+			t.Fatalf("off-stride round %d sampled (stride %d, final %d)", ev.Round, stride, res.Rounds)
+		}
+	}
+	if !sampled[int32(res.Rounds)] {
+		t.Fatalf("final round %d not sampled", res.Rounds)
+	}
+	for r := stride; r < res.Rounds; r += stride {
+		if !sampled[int32(r)] {
+			t.Fatalf("on-stride round %d missing from samples", r)
+		}
 	}
 }
 
@@ -315,6 +451,8 @@ func FuzzFloodEquivalence(f *testing.F) {
 			maxRounds: maxRounds,
 			delta:     delta,
 			metrics:   true,
+			observed:  seed%2 == 0,
+			stride:    int(rawMax % 5),
 		}
 		switch rawStop % 3 {
 		case 1:

@@ -68,6 +68,67 @@ func sweepMetricsEnabled() bool {
 	return sweepMetricsAgg != nil
 }
 
+// Sweep span capture. When enabled, forEachCell appends one span per cell
+// to the captured stream after every error-free sweep: begin/end events on
+// Track 1 (the harness lane of the repo's track convention), Node = cell
+// index, positioned on the cell-index clock (cell i spans [i, i+1)), with
+// A = the cell's engine_rounds_total. Spans are appended in ascending
+// cell-index order — never completion order — so the captured stream is
+// bit-identical at every SweepWorkers setting (pinned by
+// TestSweepSpansParallelEqualSequential). The serve layer folds this
+// stream into its per-job flight recorder so a Perfetto load of a job
+// trace shows its sweep cells under the job span.
+var (
+	sweepSpansMu sync.Mutex
+	sweepSpans   []obs.Event // nil = capture disabled
+	keySweepCell = obs.Intern("sweep_cell")
+)
+
+// EnableSweepSpans turns on per-cell span capture for subsequent sweeps,
+// discarding anything a previous enablement captured.
+func EnableSweepSpans() {
+	sweepSpansMu.Lock()
+	defer sweepSpansMu.Unlock()
+	sweepSpans = []obs.Event{}
+}
+
+// TakeSweepSpans disables capture and returns the captured span events
+// (nil when capture was never enabled).
+func TakeSweepSpans() []obs.Event {
+	sweepSpansMu.Lock()
+	defer sweepSpansMu.Unlock()
+	evs := sweepSpans
+	sweepSpans = nil
+	return evs
+}
+
+func sweepSpansEnabled() bool {
+	sweepSpansMu.Lock()
+	defer sweepSpansMu.Unlock()
+	return sweepSpans != nil
+}
+
+// appendSweepSpans emits one cell span per registry in slice (= cell-index)
+// order. It runs only after an error-free sweep, so every non-nil registry
+// is a completed cell.
+func appendSweepSpans(regs []*obs.Registry) {
+	sweepSpansMu.Lock()
+	defer sweepSpansMu.Unlock()
+	if sweepSpans == nil {
+		return
+	}
+	for i, r := range regs {
+		if r == nil {
+			continue
+		}
+		rounds := r.Counter("engine_rounds_total").Value()
+		sweepSpans = append(sweepSpans,
+			obs.Event{Kind: obs.KindSpanBegin, Round: int32(i), Node: int32(i), Track: 1, A: rounds, Name: keySweepCell},
+			obs.Event{Kind: obs.KindSpanEnd, Round: int32(i + 1), Node: int32(i), Track: 1, A: rounds, Name: keySweepCell},
+		)
+	}
+}
+
 // mergeSweepMetrics folds per-cell registries into the aggregate in slice
 // (= cell-index) order. Nil entries — disabled collection or unrun cells —
 // are skipped.
@@ -87,9 +148,10 @@ func mergeSweepMetrics(regs []*obs.Registry) {
 // forEachCell runs fn(i, reg) for every cell index in [0, cells) across
 // SweepWorkers goroutines. All cells run to completion; the lowest-index
 // error is returned, which is the error a sequential sweep reports first.
-// reg is the cell's private metrics registry when sweep metrics are
-// enabled, nil (and safe to use unconditionally) otherwise; after an
-// error-free sweep every cell's registry is merged into the aggregate in
+// reg is the cell's private metrics registry when sweep metrics or sweep
+// spans are enabled, nil (and safe to use unconditionally) otherwise;
+// after an error-free sweep every cell's registry is merged into the
+// metrics aggregate and rendered into the span capture, both in
 // cell-index order.
 func forEachCell(cells int, fn func(i int, reg *obs.Registry) error) error {
 	workers := SweepWorkers()
@@ -97,7 +159,7 @@ func forEachCell(cells int, fn func(i int, reg *obs.Registry) error) error {
 		workers = cells
 	}
 	var regs []*obs.Registry
-	if sweepMetricsEnabled() {
+	if sweepMetricsEnabled() || sweepSpansEnabled() {
 		regs = make([]*obs.Registry, cells)
 	}
 	cellReg := func(i int) *obs.Registry {
@@ -114,6 +176,7 @@ func forEachCell(cells int, fn func(i int, reg *obs.Registry) error) error {
 			}
 		}
 		mergeSweepMetrics(regs)
+		appendSweepSpans(regs)
 		return nil
 	}
 	errs := make([]error, cells)
@@ -139,6 +202,7 @@ func forEachCell(cells int, fn func(i int, reg *obs.Registry) error) error {
 		}
 	}
 	mergeSweepMetrics(regs)
+	appendSweepSpans(regs)
 	return nil
 }
 

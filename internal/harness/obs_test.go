@@ -113,3 +113,57 @@ func TestReductionSweepMetrics(t *testing.T) {
 		t.Fatalf("exposition missing reduction counters:\n%s", buf.String())
 	}
 }
+
+// TestSweepSpansParallelEqualSequential pins the span-capture counterpart:
+// the captured cell-span stream must be byte-identical at every worker
+// count because spans are appended in cell-index order after the sweep.
+func TestSweepSpansParallelEqualSequential(t *testing.T) {
+	run := func(workers int) []obs.Event {
+		prev := SetSweepWorkers(workers)
+		defer SetSweepWorkers(prev)
+		EnableSweepSpans()
+		if _, err := GapTable([]int{24, 32, 48}, 4, 7); err != nil {
+			t.Fatal(err)
+		}
+		evs := TakeSweepSpans()
+		if evs == nil {
+			t.Fatal("TakeSweepSpans returned nil after enablement")
+		}
+		return evs
+	}
+	seq := run(1)
+	if len(seq) != 2*3 {
+		t.Fatalf("captured %d events, want one begin/end pair per cell (6)", len(seq))
+	}
+	key := obs.Intern("sweep_cell")
+	for i := 0; i < 3; i++ {
+		b, e := seq[2*i], seq[2*i+1]
+		if b.Kind != obs.KindSpanBegin || b.Round != int32(i) || b.Node != int32(i) ||
+			b.Track != 1 || b.Name != key || b.A <= 0 {
+			t.Fatalf("cell %d begin = %+v", i, b)
+		}
+		if e.Kind != obs.KindSpanEnd || e.Round != int32(i+1) || e.Node != int32(i) ||
+			e.Track != 1 || e.Name != key || e.A != b.A {
+			t.Fatalf("cell %d end = %+v (begin %+v)", i, e, b)
+		}
+	}
+	for _, w := range []int{2, 3, 16} {
+		par := run(w)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: span capture differs from sequential:\n seq %+v\n par %+v", w, seq, par)
+		}
+	}
+}
+
+// TestSweepSpansDisabledByDefault pins the off side of span capture.
+func TestSweepSpansDisabledByDefault(t *testing.T) {
+	if evs := TakeSweepSpans(); evs != nil {
+		t.Fatal("sweep spans were enabled at test start")
+	}
+	if _, err := MajoritySweep(24, []float64{0.6}, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if evs := TakeSweepSpans(); evs != nil {
+		t.Fatal("a sweep without enablement captured spans")
+	}
+}

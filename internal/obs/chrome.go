@@ -34,10 +34,14 @@ const usPerRound = 1000
 // mapping: processes (pid) are Tracks (reduction parties, subnetworks),
 // threads (tid) are nodes, and the time axis is rounds (1 round = 1ms).
 // PhaseEnter events become spans lasting until the same node's next
-// phase boundary; decides, lock transitions, spoil marks, and custom
-// events become instants; RoundEnd events become counter samples of
-// senders and bits per round. Output is deterministic: events are sorted
-// by (ts, pid, tid, name) after the metadata block.
+// phase boundary; SpanBegin/SpanEnd pairs (matched innermost-first by
+// (track, node, name) lane) become complete "X" duration slices, with
+// unclosed begins running to the end of the trace; decides, lock
+// transitions, spoil marks, frontier-less customs become instants;
+// RoundEnd events become counter samples of senders and bits per round
+// and Frontier events counter samples of flood progress. Output is
+// deterministic: events are sorted by (ts, pid, tid, name) after the
+// metadata block.
 func WriteChromeTrace(w io.Writer, events []Event) error {
 	var out []chromeEvent
 	maxRound := int32(1)
@@ -85,6 +89,76 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		})
 	}
 
+	// Explicit spans: match SpanBegin/SpanEnd innermost-first per
+	// (track, node, name) lane. A begin without an end runs to the end
+	// of the trace; an end without a begin renders as an instant so the
+	// dangling event stays visible rather than vanishing.
+	type spanLane struct {
+		track, node int32
+		name        Key
+	}
+	open := make(map[spanLane][]int) // lane -> stack of indices into events
+	for i, ev := range events {
+		switch ev.Kind {
+		case KindSpanBegin:
+			lane := spanLane{ev.Track, ev.Node, ev.Name}
+			open[lane] = append(open[lane], i)
+		case KindSpanEnd:
+			lane := spanLane{ev.Track, ev.Node, ev.Name}
+			stack := open[lane]
+			if len(stack) == 0 {
+				out = append(out, chromeEvent{
+					Name: ev.Name.String() + " (unmatched end)",
+					Ph:   "i",
+					Ts:   int64(ev.Round) * usPerRound,
+					Pid:  ev.Track,
+					Tid:  ev.Node,
+					S:    "t",
+					Args: map[string]int64{"a": ev.A},
+				})
+				continue
+			}
+			begin := events[stack[len(stack)-1]]
+			open[lane] = stack[:len(stack)-1]
+			out = append(out, chromeEvent{
+				Name: ev.Name.String(),
+				Ph:   "X",
+				Ts:   int64(begin.Round) * usPerRound,
+				Dur:  int64(ev.Round-begin.Round) * usPerRound,
+				Pid:  ev.Track,
+				Tid:  ev.Node,
+				Args: map[string]int64{"begin_arg": begin.A, "end_arg": ev.A},
+			})
+		}
+	}
+	// Unclosed begins, in event order (map values hold indices; we walk
+	// the original slice rather than the map to stay deterministic).
+	for i, ev := range events {
+		if ev.Kind != KindSpanBegin {
+			continue
+		}
+		lane := spanLane{ev.Track, ev.Node, ev.Name}
+		still := false
+		for _, idx := range open[lane] {
+			if idx == i {
+				still = true
+				break
+			}
+		}
+		if !still {
+			continue
+		}
+		out = append(out, chromeEvent{
+			Name: ev.Name.String(),
+			Ph:   "X",
+			Ts:   int64(ev.Round) * usPerRound,
+			Dur:  int64(maxRound+1-ev.Round) * usPerRound,
+			Pid:  ev.Track,
+			Tid:  ev.Node,
+			Args: map[string]int64{"begin_arg": ev.A, "unclosed": 1},
+		})
+	}
+
 	for _, ev := range events {
 		switch ev.Kind {
 		case KindDecide, KindLockAcquire, KindLockRollback, KindSpoilMark, KindFault, KindCustom:
@@ -108,6 +182,14 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Ts:   int64(ev.Round) * usPerRound,
 				Pid:  ev.Track,
 				Args: map[string]int64{"senders": ev.A, "bits": ev.B},
+			})
+		case KindFrontier:
+			out = append(out, chromeEvent{
+				Name: "flood_frontier",
+				Ph:   "C",
+				Ts:   int64(ev.Round) * usPerRound,
+				Pid:  ev.Track,
+				Args: map[string]int64{"newly": ev.A, "informed": ev.B},
 			})
 		}
 	}

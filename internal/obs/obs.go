@@ -58,6 +58,19 @@ const (
 	// (sender id or upper endpoint; -1 when unused), and B the detail
 	// (the flipped bit index for "corrupt"; 0 otherwise).
 	KindFault
+	// KindSpanBegin opens a logical span named by Name on lane
+	// (Track, Node); Round is the span's position on its clock (engine
+	// rounds, sweep cell indices, or serve milliseconds — the producer
+	// picks the clock, see Span), and A carries a producer-defined
+	// argument (-1 when unused).
+	KindSpanBegin
+	// KindSpanEnd closes the innermost open span with the same
+	// (Track, Node, Name) lane as its KindSpanBegin; A carries a
+	// producer-defined result argument (-1 when unused).
+	KindSpanEnd
+	// KindFrontier is a flood-progress sample; A = nodes newly informed
+	// this round, B = total informed after the round.
+	KindFrontier
 	// KindCustom is a protocol-defined event named by Name.
 	KindCustom
 
@@ -74,6 +87,9 @@ var kindNames = [numKinds]string{
 	"lock_rollback",
 	"spoil_mark",
 	"fault",
+	"span_begin",
+	"span_end",
+	"frontier",
 	"custom",
 }
 

@@ -1,0 +1,44 @@
+package obs
+
+// Span is a lightweight handle for a begin/end pair of events on a
+// logical clock. It is a plain value (no heap pointers), so opening and
+// closing a span costs no allocation; a Span with a nil sink is inert,
+// which lets instrumentation sites call BeginSpan unconditionally.
+//
+// Spans carry no wall-clock time. The Round field of the emitted events
+// is whatever clock the producer runs on: the engine uses protocol
+// rounds, harness sweeps use cell indices, and the serve layer uses
+// milliseconds since server start (the only layer allowed to read the
+// wall clock, under its lint-allow framework). The Chrome-trace exporter
+// renders the pair as a duration slice on lane (Track, Node), so one
+// Perfetto load shows queue-wait, execution, and per-round activity on
+// their respective tracks.
+//
+// Track-lane convention used across the repo: 0 = engine runs,
+// 1 = harness sweep cells, 2 = serve jobs.
+type Span struct {
+	sink  Sink
+	name  Key
+	track int32
+	node  int32
+}
+
+// BeginSpan emits a KindSpanBegin event at position t on lane
+// (track, node) and returns the handle that closes it. arg is a
+// producer-defined argument carried on the begin event (-1 when unused).
+// A nil sink yields an inert span; both calls become no-ops.
+func BeginSpan(sink Sink, name Key, track, node, t int32, arg int64) Span {
+	if sink != nil {
+		sink.Emit(Event{Kind: KindSpanBegin, Round: t, Node: node, Track: track, A: arg, Name: name})
+	}
+	return Span{sink: sink, name: name, track: track, node: node}
+}
+
+// End emits the matching KindSpanEnd event at position t. arg is a
+// producer-defined result argument (-1 when unused). End on an inert
+// span is a no-op.
+func (s Span) End(t int32, arg int64) {
+	if s.sink != nil {
+		s.sink.Emit(Event{Kind: KindSpanEnd, Round: t, Node: s.node, Track: s.track, A: arg, Name: s.name})
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSpanEmitsBeginEnd(t *testing.T) {
+	r := NewRing(8)
+	name := Intern("execute")
+	sp := BeginSpan(r, name, 2, 7, 10, 42)
+	sp.End(15, 99)
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	begin, end := ev[0], ev[1]
+	if begin.Kind != KindSpanBegin || begin.Round != 10 || begin.Track != 2 ||
+		begin.Node != 7 || begin.A != 42 || begin.Name != name {
+		t.Fatalf("begin event = %+v", begin)
+	}
+	if end.Kind != KindSpanEnd || end.Round != 15 || end.Track != 2 ||
+		end.Node != 7 || end.A != 99 || end.Name != name {
+		t.Fatalf("end event = %+v", end)
+	}
+}
+
+func TestSpanNilSinkInert(t *testing.T) {
+	sp := BeginSpan(nil, Intern("x"), 0, 0, 0, 0)
+	sp.End(1, 0) // must not panic
+	var zero Span
+	zero.End(2, 0)
+}
+
+func TestSpanZeroAlloc(t *testing.T) {
+	r := NewRing(4)
+	name := Intern("hot_span")
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := BeginSpan(r, name, 0, 0, 1, -1)
+		sp.End(2, -1)
+	})
+	if allocs != 0 {
+		t.Fatalf("span begin/end allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// decodeTrace parses exporter output into the loosely-typed event list
+// used by the schema assertions below.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	return trace.TraceEvents
+}
+
+func TestChromeTraceSpans(t *testing.T) {
+	queue := Intern("queue_wait")
+	exec := Intern("execute")
+	events := []Event{
+		{Kind: KindSpanBegin, Round: 0, Track: 2, Node: 1, A: -1, Name: queue},
+		{Kind: KindSpanEnd, Round: 3, Track: 2, Node: 1, A: -1, Name: queue},
+		{Kind: KindSpanBegin, Round: 3, Track: 2, Node: 1, A: 5, Name: exec},
+		{Kind: KindSpanEnd, Round: 9, Track: 2, Node: 1, A: 0, Name: exec},
+		// Nested same-name spans on one lane close innermost-first.
+		{Kind: KindSpanBegin, Round: 1, Track: 0, Node: 0, A: 1, Name: exec},
+		{Kind: KindSpanBegin, Round: 2, Track: 0, Node: 0, A: 2, Name: exec},
+		{Kind: KindSpanEnd, Round: 4, Track: 0, Node: 0, A: 2, Name: exec},
+		{Kind: KindSpanEnd, Round: 8, Track: 0, Node: 0, A: 1, Name: exec},
+		// Unclosed begin and dangling end stay visible.
+		{Kind: KindSpanBegin, Round: 5, Track: 1, Node: 3, A: -1, Name: queue},
+		{Kind: KindSpanEnd, Round: 6, Track: 1, Node: 4, A: -1, Name: exec},
+		{Kind: KindFrontier, Round: 7, Track: 0, A: 12, B: 90},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	spans, instants, counters := 0, 0, 0
+	sawUnclosed, sawFrontier := false, false
+	for _, ev := range decodeTrace(t, &buf) {
+		name, _ := ev["name"].(string)
+		switch ev["ph"] {
+		case "X":
+			spans++
+			args, _ := ev["args"].(map[string]any)
+			if _, ok := args["unclosed"]; ok {
+				sawUnclosed = true
+			}
+		case "i":
+			instants++
+			if name != "execute (unmatched end)" {
+				t.Fatalf("unexpected instant %q", name)
+			}
+		case "C":
+			counters++
+			if name == "flood_frontier" {
+				sawFrontier = true
+				args, _ := ev["args"].(map[string]any)
+				if args["newly"].(float64) != 12 || args["informed"].(float64) != 90 {
+					t.Fatalf("frontier args = %v", args)
+				}
+			}
+		}
+	}
+	// 2 serve spans + 2 nested spans + 1 unclosed = 5 X events.
+	if spans != 5 || instants != 1 || counters != 1 {
+		t.Fatalf("event mix X=%d i=%d C=%d, want 5/1/1", spans, instants, counters)
+	}
+	if !sawUnclosed || !sawFrontier {
+		t.Fatalf("unclosed=%v frontier=%v, want both true", sawUnclosed, sawFrontier)
+	}
+
+	// Nested spans: the inner (begin 2, end 4) pairs with the inner begin,
+	// the outer (1, 8) with the outer — check the durations landed right.
+	durByTs := map[float64]float64{}
+	for _, ev := range decodeTrace(t, &buf) {
+		if ev["ph"] == "X" && ev["pid"].(float64) == 0 {
+			durByTs[ev["ts"].(float64)] = ev["dur"].(float64)
+		}
+	}
+	if durByTs[1*usPerRound] != 7*usPerRound || durByTs[2*usPerRound] != 2*usPerRound {
+		t.Fatalf("nested span durations = %v", durByTs)
+	}
+
+	var again bytes.Buffer
+	if err := WriteChromeTrace(&again, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two exports of the same events differ")
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindSpanBegin, Round: 1, Track: 2, Node: 0, A: -1, Name: Intern("execute")},
+		{Kind: KindFrontier, Round: 2, A: 3, B: 4},
+		{Kind: KindSpanEnd, Round: 5, Track: 2, Node: 0, A: 0, Name: Intern("execute")},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0].Kind != KindSpanBegin || back[1].Kind != KindFrontier || back[2].Kind != KindSpanEnd {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"dyndiam/internal/harness"
+	"dyndiam/internal/obs"
+)
+
+// Per-job flight recorder: a bounded ring of lifecycle events plus the
+// metric snapshot taken when the job reached a terminal status. The
+// recorder exists so that a panicking, timed-out, or failed job leaves a
+// browsable record behind — GET /debug/jobs/{key} dumps it as JSON,
+// /debug/jobs/{key}/trace as Chrome trace-event JSON for Perfetto.
+//
+// Clocks: job lifecycle spans ("queue_wait", "submit" -> execution start;
+// "execute", start -> terminal status) sit on a milliseconds-since-server-
+// start clock, the one layer of the repo allowed to read wall time (under
+// the servedeterminism lint-allow framework). When Config.CaptureSweepSpans
+// is set, the harness's sweep-cell spans (Track 1, cell-index clock) are
+// folded in as well, so one Perfetto load shows queue-wait -> execution ->
+// per-cell activity on separate track lanes.
+
+// Interned span names of the job lifecycle lane (Track 2).
+var (
+	keyQueueWait = obs.Intern("queue_wait")
+	keyExecute   = obs.Intern("execute")
+)
+
+// jobTrack is the flight recorder's Track id for job lifecycle spans,
+// following the repo convention: 0 = engine, 1 = harness cells, 2 = serve.
+const jobTrack = 2
+
+// flightRecorder captures one entry's event history. Emissions come from
+// the submitting HTTP goroutine and the worker goroutine, so the ring is
+// guarded by its own mutex (obs.Ring itself is single-goroutine).
+type flightRecorder struct {
+	mu      sync.Mutex
+	ring    *obs.Ring
+	metrics []obs.MetricPoint // server metric snapshot at terminal status
+}
+
+func newFlightRecorder(cap int) *flightRecorder {
+	return &flightRecorder{ring: obs.NewRing(cap)}
+}
+
+// emit appends one event to the bounded ring.
+func (f *flightRecorder) emit(ev obs.Event) {
+	f.mu.Lock()
+	f.ring.Emit(ev)
+	f.mu.Unlock()
+}
+
+// emitAll folds a captured event stream (e.g. the harness's sweep spans)
+// into the ring.
+func (f *flightRecorder) emitAll(evs []obs.Event) {
+	f.mu.Lock()
+	for _, ev := range evs {
+		f.ring.Emit(ev)
+	}
+	f.mu.Unlock()
+}
+
+// finish stores the terminal metric snapshot.
+func (f *flightRecorder) finish(metrics []obs.MetricPoint) {
+	f.mu.Lock()
+	f.metrics = metrics
+	f.mu.Unlock()
+}
+
+// snapshot returns a copy of the recorded events plus the drop count and
+// the terminal metric snapshot (nil while the job is still in flight).
+func (f *flightRecorder) snapshot() (events []obs.Event, dropped int, metrics []obs.MetricPoint) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.Events(), f.ring.Dropped(), f.metrics
+}
+
+// nowMs positions an event on the recorder's clock: milliseconds since
+// server start. Wall time here is presentation only — it never feeds back
+// into experiment code, whose own clocks stay deterministic.
+func (s *Server) nowMs() int32 {
+	return int32(time.Since(s.start).Milliseconds()) //lint:allow servedeterminism flight-recorder timeline, never observed by experiment code
+}
+
+// recordQueued opens the queue_wait span for a freshly enqueued entry.
+// Callers hold s.mu (entry creation is atomic with enqueue).
+func (s *Server) recordQueued(e *entry) {
+	if e.flight == nil {
+		return
+	}
+	e.flight.emit(obs.Event{Kind: obs.KindSpanBegin, Round: s.nowMs(), Track: jobTrack, A: -1, Name: keyQueueWait})
+}
+
+// recordRunning closes queue_wait and opens execute.
+func (s *Server) recordRunning(e *entry) {
+	if e.flight == nil {
+		return
+	}
+	t := s.nowMs()
+	e.flight.emit(obs.Event{Kind: obs.KindSpanEnd, Round: t, Track: jobTrack, A: -1, Name: keyQueueWait})
+	e.flight.emit(obs.Event{Kind: obs.KindSpanBegin, Round: t, Track: jobTrack, A: -1, Name: keyExecute})
+}
+
+// recordTerminal closes the execute span (A = 0 done, 1 failed), folds in
+// any captured sweep spans, and stores the terminal metric snapshot.
+func (s *Server) recordTerminal(e *entry, failed bool, sweepSpans []obs.Event) {
+	if e.flight == nil {
+		return
+	}
+	if len(sweepSpans) > 0 {
+		e.flight.emitAll(sweepSpans)
+	}
+	outcome := int64(0)
+	if failed {
+		outcome = 1
+	}
+	e.flight.emit(obs.Event{Kind: obs.KindSpanEnd, Round: s.nowMs(), Track: jobTrack, A: outcome, Name: keyExecute})
+	e.flight.finish(s.MetricsRegistry().Snapshot())
+}
+
+// captureSweepSpans wraps one exec call with harness sweep-span capture.
+// The harness's capture buffer is process-global, so capturing jobs are
+// serialized under execSerial — CaptureSweepSpans is a debugging mode that
+// trades job concurrency for per-cell visibility; leave it off on
+// throughput-serving instances.
+func (s *Server) captureSweepSpans(kind Kind, p Params) ([]byte, error, []obs.Event) {
+	s.execSerial.Lock()
+	defer s.execSerial.Unlock()
+	harness.EnableSweepSpans()
+	body, err := s.execGuarded(kind, p)
+	return body, err, harness.TakeSweepSpans()
+}

@@ -29,6 +29,11 @@ type errorBody struct {
 //	                       500 for failed jobs)
 //	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness probe
+//	GET  /debug/jobs       flight-recorder index (key, status, event counts)
+//	GET  /debug/jobs/{id}  one job's flight recording: lifecycle events,
+//	                       drop count, terminal metric snapshot
+//	GET  /debug/jobs/{id}/trace  the same recording as Chrome trace-event
+//	                       JSON (load in ui.perfetto.dev)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -37,6 +42,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
+	mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
+	mux.HandleFunc("GET /debug/jobs/{id}/trace", s.handleDebugJobTrace)
 	return mux
 }
 
@@ -113,6 +121,105 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
 	_ = obs.WriteMetricsText(w, s.MetricsRegistry())
+}
+
+// flightEventJSON is the wire form of one recorded event: the obs JSONL
+// field layout with the interned name resolved.
+type flightEventJSON struct {
+	Kind  string `json:"kind"`
+	T     int32  `json:"t"` // ms since server start (job lane) or cell index (sweep lane)
+	Node  int32  `json:"node,omitempty"`
+	Track int32  `json:"track"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b,omitempty"`
+	Name  string `json:"name,omitempty"`
+}
+
+func flightEventsJSON(events []obs.Event) []flightEventJSON {
+	out := make([]flightEventJSON, len(events))
+	for i, ev := range events {
+		out[i] = flightEventJSON{
+			Kind: ev.Kind.String(), T: ev.Round, Node: ev.Node,
+			Track: ev.Track, A: ev.A, B: ev.B, Name: ev.Name.String(),
+		}
+	}
+	return out
+}
+
+// debugJobSummary is one row of the flight-recorder index.
+type debugJobSummary struct {
+	Key     string `json:"key"`
+	Kind    Kind   `json:"kind"`
+	Status  Status `json:"status"`
+	Events  int    `json:"events"`
+	Dropped int    `json:"dropped"`
+}
+
+func (s *Server) handleDebugJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.order))
+	rows := make([]debugJobSummary, 0, len(s.order))
+	for _, key := range s.order {
+		e := s.cache[key]
+		entries = append(entries, e)
+		rows = append(rows, debugJobSummary{Key: e.key, Kind: e.kind, Status: e.status})
+	}
+	s.mu.Unlock()
+	for i, e := range entries {
+		if e.flight != nil {
+			events, dropped, _ := e.flight.snapshot()
+			rows[i].Events, rows[i].Dropped = len(events), dropped
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []debugJobSummary `json:"jobs"`
+	}{Jobs: rows})
+}
+
+// debugEntry resolves one flight-recorder entry, writing the error
+// response itself when the key is unknown or recording is off.
+func (s *Server) debugEntry(w http.ResponseWriter, r *http.Request) (*entry, JobView, bool) {
+	s.mu.Lock()
+	e, ok := s.cache[r.PathValue("id")]
+	var view JobView
+	if ok {
+		view = e.view()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job key"})
+		return nil, JobView{}, false
+	}
+	if e.flight == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recording disabled (FlightRecorderCap < 0)"})
+		return nil, JobView{}, false
+	}
+	return e, view, true
+}
+
+func (s *Server) handleDebugJob(w http.ResponseWriter, r *http.Request) {
+	e, view, ok := s.debugEntry(w, r)
+	if !ok {
+		return
+	}
+	events, dropped, metrics := e.flight.snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		Job     JobView           `json:"job"`
+		Events  []flightEventJSON `json:"events"`
+		Dropped int               `json:"dropped"`
+		Metrics []obs.MetricPoint `json:"metrics,omitempty"`
+	}{Job: view, Events: flightEventsJSON(events), Dropped: dropped, Metrics: metrics})
+}
+
+func (s *Server) handleDebugJobTrace(w http.ResponseWriter, r *http.Request) {
+	e, _, ok := s.debugEntry(w, r)
+	if !ok {
+		return
+	}
+	events, _, _ := e.flight.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteChromeTrace(w, events)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

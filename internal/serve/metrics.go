@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -75,5 +76,20 @@ func (s *Server) MetricsRegistry() *obs.Registry {
 	r.Counter("serve_jobs_failed_total").Add(s.m.failed.Load())
 	r.Gauge("serve_queue_depth").Set(int64(len(s.queue)))
 	s.m.lat.fold(r.Histogram("serve_job_latency_ms", latencyBoundsMs))
+
+	// Runtime introspection, materialized per scrape like everything else
+	// here: goroutine count catches leaks in the worker/guard machinery,
+	// heap and GC figures catch allocation regressions under sustained
+	// load that the per-run AllocsPerRun tests cannot see. Reading
+	// runtime stats is not a wall-clock read; the values are still
+	// nondeterministic, which is fine — this registry is a monitoring
+	// surface, never an experiment artifact.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("process_goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("process_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("process_heap_objects").Set(int64(ms.HeapObjects))
+	r.Counter("process_gc_cycles_total").Add(int64(ms.NumGC))
+	r.Counter("process_gc_pause_total_ns").Add(int64(ms.PauseTotalNs))
 	return r
 }

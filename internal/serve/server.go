@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dyndiam/internal/obs"
 )
 
 // Status is the lifecycle state of a cache entry.
@@ -55,6 +57,15 @@ type Config struct {
 	// Exec overrides the harness executor — tests stub it to drive the
 	// scheduling machinery without running sweeps. Default: run.
 	Exec func(Kind, Params) ([]byte, error)
+	// FlightRecorderCap bounds each job's flight-recorder event ring
+	// (default 512 events; the oldest events drop first). Negative
+	// disables per-job recording entirely.
+	FlightRecorderCap int
+	// CaptureSweepSpans folds the harness's per-cell sweep spans into
+	// each job's flight recorder. The capture buffer is process-global,
+	// so this serializes job execution — a debugging mode for inspecting
+	// one job's cells in Perfetto, not a throughput-serving setting.
+	CaptureSweepSpans bool
 }
 
 // entry is one cache slot: the single authority for a content key. All
@@ -68,6 +79,7 @@ type entry struct {
 	body   []byte
 	errMsg string
 	done   chan struct{}
+	flight *flightRecorder // nil when recording is disabled
 }
 
 // JobView is the externally visible snapshot of a cache entry.
@@ -98,6 +110,12 @@ type Server struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
+	// start anchors the flight recorders' milliseconds clock.
+	start time.Time
+	// execSerial serializes job execution when CaptureSweepSpans is set
+	// (the harness's span-capture buffer is process-global).
+	execSerial sync.Mutex
+
 	m metrics
 }
 
@@ -114,12 +132,16 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfterSec <= 0 {
 		cfg.RetryAfterSec = 1
 	}
+	if cfg.FlightRecorderCap == 0 {
+		cfg.FlightRecorderCap = 512
+	}
 	s := &Server{
 		cfg:   cfg,
 		exec:  cfg.Exec,
 		cache: map[string]*entry{},
 		queue: make(chan *entry, cfg.QueueCap),
 		quit:  make(chan struct{}),
+		start: time.Now(), //lint:allow servedeterminism flight-recorder clock anchor, never observed by experiment code
 	}
 	if s.exec == nil {
 		s.exec = run
@@ -176,10 +198,14 @@ func (s *Server) Submit(kind Kind, p Params) (JobView, SubmitOutcome, error) {
 	}
 	s.m.cacheMiss.Add(1)
 	e := &entry{key: key, kind: kind, params: np, status: StatusQueued, done: make(chan struct{})}
+	if s.cfg.FlightRecorderCap > 0 {
+		e.flight = newFlightRecorder(s.cfg.FlightRecorderCap)
+	}
 	select {
 	case s.queue <- e:
 		s.cache[key] = e
 		s.order = append(s.order, key)
+		s.recordQueued(e)
 		return e.view(), SubmitNew, nil
 	default:
 		s.m.rejected.Add(1)
@@ -263,8 +289,16 @@ func (s *Server) runJob(e *entry) {
 	e.status = StatusRunning
 	s.mu.Unlock()
 	s.m.executions.Add(1)
+	s.recordRunning(e)
 	start := time.Now() //lint:allow servedeterminism job latency metric, never observed by experiment code
-	body, err := s.execGuarded(e.kind, e.params)
+	var body []byte
+	var err error
+	var sweepSpans []obs.Event
+	if s.cfg.CaptureSweepSpans {
+		body, err, sweepSpans = s.captureSweepSpans(e.kind, e.params)
+	} else {
+		body, err = s.execGuarded(e.kind, e.params)
+	}
 	s.m.lat.observe(time.Since(start).Milliseconds()) //lint:allow servedeterminism job latency metric, never observed by experiment code
 	s.mu.Lock()
 	if err != nil {
@@ -277,6 +311,9 @@ func (s *Server) runJob(e *entry) {
 	}
 	close(e.done)
 	s.mu.Unlock()
+	// The terminal record is written after the status flip so the dumped
+	// metric snapshot reflects the finished job.
+	s.recordTerminal(e, err != nil, sweepSpans)
 }
 
 // execGuarded runs the executor in a guarded goroutine: panics become
