@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"dyndiam/internal/faults"
+	"dyndiam/internal/obs"
+	"dyndiam/internal/wire"
+)
+
+// TestMain doubles as the node helper process: the test binary re-execs
+// itself with DYNNODE_HELPER=node to get real OS processes — real
+// sockets, real SIGKILL — without building a separate binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("DYNNODE_HELPER") == "node" {
+		id, err := strconv.Atoi(os.Getenv("DYNNODE_ID"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynnode helper:", err)
+			os.Exit(1)
+		}
+		if err := wire.RunNode(wire.NodeConfig{ID: id, Addr: os.Getenv("DYNNODE_ADDR")}); err != nil {
+			fmt.Fprintln(os.Stderr, "dynnode helper:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func spawnNode(t *testing.T, id int, addr string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"DYNNODE_HELPER=node",
+		"DYNNODE_ID="+strconv.Itoa(id),
+		"DYNNODE_ADDR="+addr,
+	)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// TestProcessSIGKILLRejoin is the acceptance scenario with real OS
+// processes: a node process is SIGKILLed mid-run, relaunched, rejoins
+// from the coordinator's replay log, and the finished execution is
+// byte-identical to the in-process engine — with the transport counters
+// showing the retry/reconnect/replay machinery actually ran.
+func TestProcessSIGKILLRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	spec := wire.RunSpec{
+		Proto: "consensus", N: 6, Seed: 31, MaxRounds: 24, Adv: "ring",
+		Fault: faults.Spec{Seed: 41, Drop: 0.1, Corrupt: 0.1},
+	}
+	const victim = 2
+	const killRound = 6
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	var mu sync.Mutex
+	procs := make([]*exec.Cmd, spec.N)
+	for v := 0; v < spec.N; v++ {
+		procs[v] = spawnNode(t, v, addr)
+	}
+	relaunched := make(chan struct{})
+
+	tr, ring, reg := wire.NewArtifacts(1 << 16)
+	transport := obs.NewRegistry()
+	sink := &killSink{Sink: ring, round: killRound, fire: func() {
+		mu.Lock()
+		victimCmd := procs[victim]
+		mu.Unlock()
+		if err := victimCmd.Process.Kill(); err != nil {
+			t.Errorf("SIGKILL node %d: %v", victim, err)
+		}
+		go func() {
+			defer close(relaunched)
+			victimCmd.Wait() //lint:allow errcheck the kill is the expected exit
+			// The delay guarantees the round barrier's deadline fires before
+			// the rejoin, so wire_retries_total is deterministically nonzero.
+			time.Sleep(400 * time.Millisecond)
+			mu.Lock()
+			procs[victim] = spawnNode(t, victim, addr)
+			mu.Unlock()
+		}()
+	}}
+
+	res, runErr := wire.Run(wire.Config{
+		Spec: spec, Listener: ln,
+		Trace: tr, Obs: sink, Metrics: reg, Transport: transport,
+		RoundTimeout: 100 * time.Millisecond, MaxRetries: 20, RetryBase: 20 * time.Millisecond,
+	})
+	if runErr != nil {
+		t.Fatalf("distributed run: %v", runErr)
+	}
+	<-relaunched
+	mu.Lock()
+	final := append([]*exec.Cmd(nil), procs...)
+	mu.Unlock()
+	for v, cmd := range final {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("node %d process exit: %v", v, err)
+		}
+	}
+
+	dist := wire.CollectArtifacts(res, runErr, tr, ring, reg)
+	proc, err := wire.RunInProcess(spec, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Diff(dist, proc); err != nil {
+		t.Fatalf("SIGKILLed-and-rejoined run diverged from the engine: %v", err)
+	}
+
+	for _, name := range []string{
+		"wire_retries_total",
+		"wire_deadline_hits_total",
+		"wire_reconnects_total",
+		"wire_replayed_rounds_total",
+	} {
+		if v := transportCounter(transport, name); v == 0 {
+			t.Errorf("%s = 0, want > 0: the rejoin machinery did not run", name)
+		}
+	}
+}
+
+func transportCounter(reg *obs.Registry, name string) int64 {
+	for _, p := range reg.Snapshot() {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	return 0
+}

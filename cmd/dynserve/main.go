@@ -21,6 +21,12 @@
 // with -resume, results already recorded there are preloaded so a
 // restarted service answers known keys from cache.
 //
+// Shutdown semantics: SIGTERM drains gracefully — new submissions are
+// rejected (POST /jobs and /readyz answer 503, /healthz stays 200),
+// every queued and in-flight job finishes within its budget, and only
+// then is the checkpoint written. SIGINT shuts down fast: queued-but-
+// unstarted jobs are dropped.
+//
 // Introspection: every job records a flight recording browsable at
 // /debug/jobs and /debug/jobs/<key> (plus .../trace for Perfetto), and
 // -pprof additionally exposes net/http/pprof under /debug/pprof/.
@@ -136,10 +142,21 @@ func main() {
 	case err := <-done:
 		log.Fatal(err)
 	case s := <-sig:
-		log.Printf("received %v; shutting down", s)
+		if s == syscall.SIGTERM {
+			// Graceful drain: stop accepting new jobs (/readyz flips to
+			// 503, POST /jobs answers 503) but keep serving polls while
+			// every queued and in-flight job finishes within its budget;
+			// the checkpoint below then includes the drained work.
+			log.Printf("received %v; draining: rejecting new jobs, finishing queued and in-flight work", s)
+			srv.Drain()
+		} else {
+			// SIGINT stays the fast path: queued-but-unstarted jobs are
+			// dropped, only in-flight work is waited out.
+			log.Printf("received %v; shutting down", s)
+			srv.Close()
+		}
 	}
 	_ = httpSrv.Close()
-	srv.Close()
 	if opts.checkpoint != "" {
 		results := srv.CachedResults()
 		if err := cliutil.SaveJSON(opts.checkpoint, results); err != nil {

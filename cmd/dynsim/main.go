@@ -45,6 +45,7 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "record the execution trace (with topologies) to this file")
 		traceIn   = flag.String("trace-in", "", "analyze a recorded trace instead of running anything")
 
+		distributed = flag.Bool("distributed", false, "run over internal/wire: coordinator + n node sessions on loopback TCP (cflood|pflood|leader|consensus)")
 		floodFast   = flag.Bool("floodfast", false, "run via Engine.RunFlood's word-packed fast path (cflood/pflood only)")
 		obsOut      = flag.String("obs-out", "", "write observed events as JSONL to this file")
 		obsTraceOut = flag.String("obs-trace-out", "", "write observed events as Chrome trace-event JSON to this file")
@@ -73,6 +74,17 @@ func main() {
 		extra[dyndiam.ExtraNPrime] = int64(*nprime)
 	}
 	extra[dyndiam.ExtraCPermille] = int64(*cmil)
+
+	if *distributed {
+		done, err := runDistributedCLI(*proto, *n, *advName, *d, *seed, *maxRounds, extra)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !done {
+			os.Exit(1)
+		}
+		return
+	}
 
 	inputs := make([]int64, *n)
 	var p dyndiam.Protocol

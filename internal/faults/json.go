@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Serialized fault format: one JSON shape shared by everything that
+// persists a fault mix — dynnode run specs (internal/wire.RunSpec),
+// chaos replays, and degradation configs. The field names below are a
+// compatibility contract; EncodeSpec/ParseSpec round-trip bit-for-bit
+// and ParseSpec rejects both unknown fields and semantically invalid
+// mixes (negative rates, inverted outage windows) with the same
+// validation errors NewPlan would raise, so a bad config fails at load
+// time instead of deep inside a run.
+
+// specJSON is the serialized shape of a Spec. It mirrors Spec field for
+// field; the indirection keeps the JSON names an explicit contract
+// rather than an accident of Go identifier casing.
+type specJSON struct {
+	Seed     uint64       `json:"seed,omitempty"`
+	Drop     float64      `json:"drop,omitempty"`
+	Dup      float64      `json:"dup,omitempty"`
+	Corrupt  float64      `json:"corrupt,omitempty"`
+	Crash    float64      `json:"crash,omitempty"`
+	MeanDown float64      `json:"mean_down,omitempty"`
+	Outages  []outageJSON `json:"outages,omitempty"`
+	EdgeCut  float64      `json:"edge_cut,omitempty"`
+}
+
+type outageJSON struct {
+	Node  int `json:"node"`
+	From  int `json:"from"`
+	Until int `json:"until"`
+}
+
+// MarshalJSON serializes the Spec in the shared fault format.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	j := specJSON{
+		Seed: s.Seed, Drop: s.Drop, Dup: s.Dup, Corrupt: s.Corrupt,
+		Crash: s.Crash, MeanDown: s.MeanDown, EdgeCut: s.EdgeCut,
+	}
+	for _, o := range s.Outages {
+		j.Outages = append(j.Outages, outageJSON{Node: o.Node, From: o.From, Until: o.Until})
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the shared fault format. It is strict about
+// shape (unknown fields are errors) but defers semantic validation to
+// Validate/ParseSpec so partially built Specs can still be assembled
+// programmatically.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var j specJSON
+	if err := dec.Decode(&j); err != nil {
+		return fmt.Errorf("faults: invalid spec JSON: %w", err)
+	}
+	*s = Spec{
+		Seed: j.Seed, Drop: j.Drop, Dup: j.Dup, Corrupt: j.Corrupt,
+		Crash: j.Crash, MeanDown: j.MeanDown, EdgeCut: j.EdgeCut,
+	}
+	for _, o := range j.Outages {
+		s.Outages = append(s.Outages, Outage{Node: o.Node, From: o.From, Until: o.Until})
+	}
+	return nil
+}
+
+// EncodeSpec validates and serializes a Spec. The output round-trips
+// through ParseSpec to an identical Spec value.
+func EncodeSpec(s Spec) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(s)
+}
+
+// ParseSpec decodes and validates a serialized Spec: the one entry
+// point every config loader (dynnode, chaos replays) shares, so a
+// malformed or out-of-range fault mix is rejected identically
+// everywhere.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

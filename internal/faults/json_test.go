@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"zero", Spec{}},
+		{"seed_only", Spec{Seed: 42}},
+		{"rates", Spec{Seed: 7, Drop: 0.25, Dup: 0.125, Corrupt: 0.0625, EdgeCut: 0.5}},
+		{"crash", Spec{Seed: 9, Crash: 0.05, MeanDown: 3.5}},
+		{"outages", Spec{
+			Seed:    11,
+			Outages: []Outage{{Node: 0, From: 1, Until: 4}, {Node: 3, From: 2, Until: 2}},
+		}},
+		{"kitchen_sink", Spec{
+			Seed: 123, Drop: 0.3, Dup: 0.1, Corrupt: 0.2, Crash: 0.02,
+			MeanDown: 4, EdgeCut: 0.15,
+			Outages: []Outage{{Node: 5, From: 10, Until: 20}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := EncodeSpec(tc.spec)
+			if err != nil {
+				t.Fatalf("EncodeSpec: %v", err)
+			}
+			got, err := ParseSpec(data)
+			if err != nil {
+				t.Fatalf("ParseSpec(%s): %v", data, err)
+			}
+			if !reflect.DeepEqual(got, tc.spec) {
+				t.Errorf("round trip changed the spec:\n in: %+v\nout: %+v\njson: %s", tc.spec, got, data)
+			}
+			// Encoding must be deterministic: a second pass over the parsed
+			// value yields byte-identical JSON.
+			data2, err := EncodeSpec(got)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if string(data) != string(data2) {
+				t.Errorf("encoding not stable: %s vs %s", data, data2)
+			}
+		})
+	}
+}
+
+func TestSpecJSONFieldNames(t *testing.T) {
+	// The serialized names are a compatibility contract shared by dynnode
+	// run specs and chaos replays; renaming a field must fail here.
+	data, err := EncodeSpec(Spec{
+		Seed: 1, Drop: 0.5, Dup: 0.25, Corrupt: 0.125, Crash: 0.0625,
+		MeanDown: 2, EdgeCut: 0.03125,
+		Outages: []Outage{{Node: 4, From: 2, Until: 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"seed":1`, `"drop":0.5`, `"dup":0.25`, `"corrupt":0.125`,
+		`"crash":0.0625`, `"mean_down":2`, `"edge_cut":0.03125`,
+		`"outages":[{"node":4,"from":2,"until":9}]`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("encoded spec missing %s in %s", want, data)
+		}
+	}
+}
+
+func TestSpecJSONZeroOmitted(t *testing.T) {
+	data, err := EncodeSpec(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Errorf("zero spec should encode as {}, got %s", data)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string
+	}{
+		{"negative_drop", `{"drop":-0.1}`, "drop rate"},
+		{"drop_above_one", `{"drop":1.5}`, "drop rate"},
+		{"negative_dup", `{"dup":-1}`, "dup rate"},
+		{"negative_corrupt", `{"corrupt":-0.5}`, "corrupt rate"},
+		{"crash_above_one", `{"crash":2}`, "crash rate"},
+		{"negative_edge_cut", `{"edge_cut":-0.01}`, "edgecut rate"},
+		{"mean_down_below_one", `{"crash":0.1,"mean_down":0.5}`, "mean downtime"},
+		{"inverted_outage", `{"outages":[{"node":0,"from":5,"until":3}]}`, "outage"},
+		{"outage_before_round_one", `{"outages":[{"node":0,"from":0,"until":3}]}`, "outage"},
+		{"unknown_field", `{"dorp":0.5}`, "dorp"},
+		{"not_json", `{"drop":`, "unexpected end of JSON input"},
+		{"wrong_type", `{"drop":"heavy"}`, "invalid spec JSON"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("ParseSpec(%s) succeeded, want error containing %q", tc.json, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseSpec(%s) error = %q, want it to mention %q", tc.json, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEncodeSpecRejectsInvalid(t *testing.T) {
+	if _, err := EncodeSpec(Spec{Drop: -1}); err == nil {
+		t.Error("EncodeSpec accepted a negative drop rate")
+	}
+	if _, err := EncodeSpec(Spec{Outages: []Outage{{Node: 0, From: 9, Until: 2}}}); err == nil {
+		t.Error("EncodeSpec accepted an inverted outage window")
+	}
+}
+
+func TestSpecJSONViaEncodingJSON(t *testing.T) {
+	// Spec is embedded in larger configs (wire.RunSpec), so plain
+	// json.Marshal/Unmarshal must use the same format as the helpers.
+	type carrier struct {
+		Fault Spec `json:"fault"`
+	}
+	in := carrier{Fault: Spec{Seed: 3, Drop: 0.5, Outages: []Outage{{Node: 1, From: 2, Until: 3}}}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out carrier
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("embedded round trip changed the spec:\n in: %+v\nout: %+v", in, out)
+	}
+}

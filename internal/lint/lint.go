@@ -279,6 +279,7 @@ func DefaultAnalyzers() []*Analyzer {
 		ObsDeterminism,
 		FaultsDeterminism,
 		ServeDeterminism,
+		WireDeterminism,
 		CongestSend,
 		PanicFree,
 		PrintClean,

@@ -81,6 +81,7 @@ func TestAnalyzers(t *testing.T) {
 		{ObsDeterminism, "obsdeterminism"},
 		{FaultsDeterminism, "faultsdeterminism"},
 		{ServeDeterminism, "servedeterminism"},
+		{WireDeterminism, "wiredeterminism"},
 		{CongestSend, "congestsend"},
 		{PanicFree, "panicfree"},
 		{PrintClean, "printclean"},
@@ -109,14 +110,15 @@ func TestAnalyzers(t *testing.T) {
 // bypassed, as this test does.
 func TestRuleExclusivity(t *testing.T) {
 	all := DefaultAnalyzers()
-	corpora := []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "servedeterminism", "congestsend", "panicfree", "printclean"}
+	corpora := []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "servedeterminism", "wiredeterminism", "congestsend", "panicfree", "printclean"}
 	intendedOverlap := map[string]map[string]bool{
-		"determinism": {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true}, // all four ban the wall clock
+		"determinism": {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true}, // all five ban the wall clock
 		// Every maporder range is also a map range under the strict rules.
-		"maporder":          {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true},
-		"obsdeterminism":    {"determinism": true, "faultsdeterminism": true, "servedeterminism": true}, // time.Now + map ranges co-fire
-		"faultsdeterminism": {"determinism": true, "obsdeterminism": true, "servedeterminism": true},    // same strict-superset pattern
-		"servedeterminism":  {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true},   // same strict-superset pattern
+		"maporder":          {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true},
+		"obsdeterminism":    {"determinism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true}, // time.Now + map ranges co-fire
+		"faultsdeterminism": {"determinism": true, "obsdeterminism": true, "servedeterminism": true, "wiredeterminism": true},    // same strict-superset pattern
+		"servedeterminism":  {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true, "wiredeterminism": true},   // same strict-superset pattern
+		"wiredeterminism":   {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true},  // same strict-superset pattern
 	}
 	for _, corpus := range corpora {
 		pkg := loadCorpus(t, corpus)
@@ -183,6 +185,12 @@ func TestScopes(t *testing.T) {
 		{"servedeterminism", "dyndiam/internal/obs", false},
 		{"servedeterminism", "dyndiam/internal/faults", false},
 		{"servedeterminism", "dyndiam/cmd/dynserve", false},
+		// The wire layer carries the distributed-equivalence proof: map
+		// iteration and unannotated clocks are banned on the frame path.
+		{"wiredeterminism", "dyndiam/internal/wire", true},
+		{"wiredeterminism", "dyndiam/internal/serve", false},
+		{"wiredeterminism", "dyndiam/internal/dynet", false},
+		{"wiredeterminism", "dyndiam/cmd/dynnode", false},
 		{"congestsend", "dyndiam/internal/protocols/leader", true},
 		{"congestsend", "dyndiam/internal/dynet", false},
 		{"panicfree", "dyndiam/internal/graph", true},

@@ -1,0 +1,55 @@
+// Package wiredeterminism is a lint fixture for the wiredeterminism
+// analyzer. The map iterations below are order-independent in the
+// maporder sense — nothing leaks iteration order into a result — so the
+// general rule stays silent; the wire layer bans them anyway, because a
+// frame path walked in map order delivers messages in a different order
+// than the engine's ascending-neighbor collection, breaking the
+// byte-for-byte distributed-equivalence guarantee.
+package wiredeterminism
+
+import "time"
+
+type frame struct {
+	round int
+	from  int
+	nbits int
+}
+
+type barrier struct {
+	pending map[int]*frame // by node id
+	nodes   []int          // ascending id order; the sanctioned walk
+}
+
+// CountPending tallies buffered frames commutatively. Order-independent,
+// so maporder is silent — but the wire layer must walk the node slice,
+// not the map.
+func CountPending(b *barrier) int {
+	total := 0
+	for _, f := range b.pending { // want:wiredeterminism
+		if f != nil {
+			total++
+		}
+	}
+	return total
+}
+
+// ResetRound clears buffered frames through keyed writes. Still banned:
+// the visit order is randomized map order.
+func ResetRound(b *barrier) {
+	for id := range b.pending { // want:wiredeterminism
+		b.pending[id] = nil
+	}
+}
+
+// StampFrame puts the wall clock into a frame — exactly the bug the rule
+// exists to stop: a round barrier keyed off arrival time instead of
+// round numbers diverges from the engine run by run.
+func StampFrame(f *frame) {
+	f.round = int(time.Now().Unix()) // want:wiredeterminism
+}
+
+// ElapsedGate decides protocol progress from elapsed wall time rather
+// than frame arrival — banned without an allow annotation.
+func ElapsedGate(start time.Time) bool {
+	return time.Since(start) > time.Second // want:wiredeterminism
+}

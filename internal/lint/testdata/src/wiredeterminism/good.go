@@ -1,0 +1,32 @@
+package wiredeterminism
+
+import (
+	"net"
+	"time"
+)
+
+// Collect walks the ascending node-id slice and consults the map only
+// for keyed lookups — the pattern the coordinator's inbox assembly uses
+// in place of map iteration, so deliveries keep the engine's order.
+func Collect(b *barrier) []*frame {
+	var out []*frame
+	for _, id := range b.nodes {
+		if f := b.pending[id]; f != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Buffer is a keyed write; maps as dictionaries are fine, only iteration
+// is banned.
+func Buffer(b *barrier, id int, f *frame) {
+	b.pending[id] = f
+}
+
+// ArmDeadline is the one sanctioned wall-clock site: arming a socket
+// deadline changes when a retry fires, never what the protocol computes,
+// and says so in its allow annotation.
+func ArmDeadline(c net.Conn, d time.Duration) error {
+	return c.SetReadDeadline(time.Now().Add(d)) //lint:allow wiredeterminism deadline arming is the sanctioned wall-clock use
+}

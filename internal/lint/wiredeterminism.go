@@ -1,0 +1,44 @@
+package lint
+
+import "go/ast"
+
+// WireDeterminism enforces the distributed-equivalence contract of the
+// wire layer (internal/wire), the strictest member of the determinism
+// rule family. The layer's keystone guarantee is that a distributed run
+// is byte-identical to Engine.Run — traces, outputs, message/bit totals,
+// even error texts — which only holds if nothing on the frame path
+// depends on map order or the wall clock. Map iteration is banned
+// outright: inbox assembly, replay encoding, and stats folding must walk
+// indexed slices in node order, because a map-ordered walk would reorder
+// deliveries relative to the engine's ascending-neighbor collection.
+// Wall-clock reads are banned except where explicitly annotated: the
+// transport genuinely lives in wall-clock time at exactly one kind of
+// site — arming socket deadlines and retry timers — and each such read
+// carries a //lint:allow wiredeterminism annotation arguing it can only
+// change WHEN a frame is (re)sent, never WHAT the protocol computes.
+var WireDeterminism = &Analyzer{
+	Name: "wiredeterminism",
+	Doc: "forbid map iteration and unannotated wall-clock reads in internal/wire: " +
+		"distributed runs must equal Engine.Run byte for byte; only annotated deadline-arming sites may read the clock",
+	Scope: func(path string) bool { return underAny(path, "internal/wire") },
+	Run:   runWireDeterminism,
+}
+
+func runWireDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if p.isMapRange(n) {
+					p.Reportf(n.Pos(), "map iteration on the frame path: walk nodes and edges by index, so deliveries and replays keep the engine's order")
+				}
+			case *ast.SelectorExpr:
+				if p.pkgIdentOrName(file, n.X) == "time" && bannedClockCalls[n.Sel.Name] {
+					p.Reportf(n.Pos(), "time.%s in the wire layer: the round barrier must be event-driven; annotate deadline-arming reads with //lint:allow wiredeterminism", n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

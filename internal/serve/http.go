@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 
@@ -28,7 +29,8 @@ type errorBody struct {
 //	GET  /jobs/{id}/result the stored result body (202 while pending,
 //	                       500 for failed jobs)
 //	GET  /metrics          Prometheus text exposition
-//	GET  /healthz          liveness probe
+//	GET  /healthz          liveness probe (200 while the process lives)
+//	GET  /readyz           readiness probe (503 once draining begins)
 //	GET  /debug/jobs       flight-recorder index (key, status, event counts)
 //	GET  /debug/jobs/{id}  one job's flight recording: lifecycle events,
 //	                       drop count, terminal metric snapshot
@@ -42,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	mux.HandleFunc("GET /debug/jobs/{id}", s.handleDebugJob)
 	mux.HandleFunc("GET /debug/jobs/{id}/trace", s.handleDebugJobTrace)
@@ -67,6 +70,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	view, outcome, err := s.Submit(req.Kind, req.Params)
+	if errors.Is(err, ErrDraining) {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
@@ -224,6 +231,21 @@ func (s *Server) handleDebugJobTrace(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the readiness probe: 200 while the service accepts new
+// jobs, 503 once a drain has begun. Liveness (/healthz) stays 200
+// through the drain so an orchestrator unroutes the instance without
+// killing it mid-run-down.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ok\n"))
 }

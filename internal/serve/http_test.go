@@ -321,4 +321,116 @@ func TestHTTPMetricsAndHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || string(data) != "ok\n" {
 		t.Errorf("/healthz = %d %q", resp.StatusCode, data)
 	}
+
+	resp, data = getPath(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusOK || string(data) != "ok\n" {
+		t.Errorf("/readyz = %d %q before drain", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPDrainOrdering pins the graceful-drain sequence: once Drain
+// begins, /readyz flips to 503 and new submissions are rejected (503),
+// while existing entries stay readable and the queued-but-unstarted job
+// still runs to completion before Drain returns — so a checkpoint taken
+// after Drain includes it. Close would have dropped that queued job;
+// Drain must not.
+func TestHTTPDrainOrdering(t *testing.T) {
+	t.Parallel()
+	gate := make(chan struct{})
+	started := make(chan Kind, 8)
+	s, ts := newHTTPServer(t, Config{
+		Workers:  1,
+		QueueCap: 8,
+		Exec: func(kind Kind, p Params) ([]byte, error) {
+			started <- kind
+			<-gate
+			return stubBody(kind, p), nil
+		},
+	})
+
+	// Job A occupies the single worker (blocked in exec); job B sits
+	// queued behind it.
+	respA, dataA := postJob(t, ts, `{"kind":"figure","params":{"figure":1}}`)
+	if respA.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit A = %d body %s", respA.StatusCode, dataA)
+	}
+	var viewA JobView
+	if err := json.Unmarshal(dataA, &viewA); err != nil {
+		t.Fatal(err)
+	}
+	<-started // A is in-flight
+	respB, dataB := postJob(t, ts, `{"kind":"figure","params":{"figure":2}}`)
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit B = %d body %s", respB.StatusCode, dataB)
+	}
+	var viewB JobView
+	if err := json.Unmarshal(dataB, &viewB); err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Drain never flipped the draining flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Draining: readiness 503, liveness 200.
+	resp, data := getPath(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || string(data) != "draining\n" {
+		t.Errorf("/readyz during drain = %d %q", resp.StatusCode, data)
+	}
+	resp, data = getPath(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || string(data) != "ok\n" {
+		t.Errorf("/healthz during drain = %d %q", resp.StatusCode, data)
+	}
+
+	// New work is rejected with 503 ...
+	resp, data = postJob(t, ts, `{"kind":"figure","params":{"figure":3}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(data), "draining") {
+		t.Errorf("new submit during drain = %d %q, want 503 draining", resp.StatusCode, data)
+	}
+	// ... but a duplicate of an admitted entry is still served from cache.
+	resp, data = postJob(t, ts, `{"kind":"figure","params":{"figure":1}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("dup submit during drain = %d %q, want 200", resp.StatusCode, data)
+	}
+
+	// Drain must not return while A is still in-flight and B is queued.
+	select {
+	case <-drained:
+		t.Fatal("Drain returned before in-flight work finished")
+	default:
+	}
+
+	close(gate)
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain did not return after jobs were released")
+	}
+
+	// Both the in-flight job and the queued-but-unstarted one completed.
+	for _, key := range []string{viewA.Key, viewB.Key} {
+		view, ok := s.Job(key)
+		if !ok || view.Status != StatusDone {
+			t.Errorf("job %s after drain = %+v, want done", key, view)
+		}
+	}
+	// The post-drain checkpoint includes the drained work.
+	results := s.CachedResults()
+	if len(results) != 2 {
+		t.Fatalf("checkpoint after drain has %d results, want 2", len(results))
+	}
+	// Readiness stays down after the drain completes.
+	resp, _ = getPath(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after drain = %d, want 503", resp.StatusCode)
+	}
 }

@@ -23,12 +23,18 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"dyndiam/internal/obs"
 )
+
+// ErrDraining is returned by Submit for new work while the server is
+// draining. The HTTP layer maps it to 503; duplicate submissions of
+// existing entries are still answered from cache.
+var ErrDraining = errors.New("serve: server is draining; not accepting new jobs")
 
 // Status is the lifecycle state of a cache entry.
 type Status string
@@ -110,6 +116,12 @@ type Server struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
+	// draining (guarded by mu) makes Submit reject new work; drain is
+	// closed once by Drain to switch the workers into run-down mode.
+	draining  bool
+	drain     chan struct{}
+	drainOnce sync.Once
+
 	// start anchors the flight recorders' milliseconds clock.
 	start time.Time
 	// execSerial serializes job execution when CaptureSweepSpans is set
@@ -141,6 +153,7 @@ func New(cfg Config) *Server {
 		cache: map[string]*entry{},
 		queue: make(chan *entry, cfg.QueueCap),
 		quit:  make(chan struct{}),
+		drain: make(chan struct{}),
 		start: time.Now(), //lint:allow servedeterminism flight-recorder clock anchor, never observed by experiment code
 	}
 	if s.exec == nil {
@@ -158,6 +171,31 @@ func New(cfg Config) *Server {
 func (s *Server) Close() {
 	close(s.quit)
 	s.wg.Wait()
+}
+
+// Drain is the graceful counterpart to Close: it stops accepting new
+// submissions (Submit answers ErrDraining, /readyz flips to 503), then
+// blocks until the workers have finished every queued AND in-flight job
+// — each still bounded by the job budget — before returning. Close, by
+// contrast, abandons queued-but-unstarted entries. The caller checkpoints
+// after Drain returns so the saved cache includes the drained work.
+// Idempotent; safe to combine with a later Close.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		close(s.drain)
+	})
+	s.wg.Wait()
+}
+
+// Draining reports whether Drain has begun; the readiness probe keys off
+// it.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // SubmitOutcome classifies what Submit did with a valid submission.
@@ -195,6 +233,11 @@ func (s *Server) Submit(kind Kind, p Params) (JobView, SubmitOutcome, error) {
 	if e, ok := s.cache[key]; ok {
 		s.m.cacheHits.Add(1)
 		return e.view(), SubmitDup, nil
+	}
+	if s.draining {
+		// Cache hits above are still served — a drain refuses new work,
+		// not reads of entries it is finishing.
+		return JobView{}, SubmitRejected, ErrDraining
 	}
 	s.m.cacheMiss.Add(1)
 	e := &entry{key: key, kind: kind, params: np, status: StatusQueued, done: make(chan struct{})}
@@ -268,7 +311,10 @@ func (s *Server) Wait(key string) (body []byte, view JobView, ok bool) {
 // RetryAfterSec exposes the configured backpressure hint.
 func (s *Server) RetryAfterSec() int { return s.cfg.RetryAfterSec }
 
-// worker drains the queue until Close.
+// worker drains the queue until Close. After Drain it switches to
+// run-down mode: finish everything already queued, then exit. Submit
+// stopped admitting entries before the drain channel closed, so an empty
+// queue observed in run-down mode is permanently empty.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -277,6 +323,15 @@ func (s *Server) worker() {
 			return
 		case e := <-s.queue:
 			s.runJob(e)
+		case <-s.drain:
+			for {
+				select {
+				case e := <-s.queue:
+					s.runJob(e)
+				default:
+					return
+				}
+			}
 		}
 	}
 }

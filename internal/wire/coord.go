@@ -1,0 +1,791 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"dyndiam/internal/dynet"
+	"dyndiam/internal/faults"
+	"dyndiam/internal/obs"
+	"dyndiam/internal/rng"
+)
+
+// Config configures a coordinator run. Zero-value timeouts pick defaults
+// suitable for loopback clusters.
+type Config struct {
+	Spec RunSpec
+	// Adv overrides the spec-built adversary (tests inject misbehaving
+	// adversaries this way). Nil builds from the spec.
+	Adv dynet.Adversary
+	// Listener accepts node connections. When the spec injects faults and
+	// the listener is not already a *FaultListener, Run wraps it — the
+	// socket-layer injection is part of the execution semantics, not an
+	// optional accessory.
+	Listener net.Listener
+	// Trace, Obs, Metrics mirror the Engine fields of the same names and
+	// receive byte-identical content under the equivalence guarantee.
+	Trace   *dynet.Trace
+	Obs     obs.Sink
+	Metrics *obs.Registry
+	// Transport receives the wire_* counters: retries, deadline hits,
+	// reconnects, CRC rejects, injected faults, folded node stats. Kept
+	// separate from Metrics so equivalence comparisons stay clean.
+	Transport *obs.Registry
+	// RoundTimeout is the base per-attempt deadline for a round barrier
+	// (default 2s).
+	RoundTimeout time.Duration
+	// MaxRetries bounds re-pokes per barrier (default 8).
+	MaxRetries int
+	// RetryBase scales the exponential backoff and its deterministic
+	// jitter (default 25ms).
+	RetryBase time.Duration
+}
+
+// Run drives one distributed execution to completion and returns the
+// engine-equivalent Result. It mirrors dynet.Engine.Run phase for phase;
+// on model violations (budget, topology size, connectivity) it aborts
+// the cluster and returns the byte-identical engine error.
+func Run(cfg Config) (*dynet.Result, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Listener == nil {
+		return nil, errors.New("wire: coordinator needs a listener")
+	}
+	adv := cfg.Adv
+	if adv == nil {
+		a, err := cfg.Spec.BuildAdversary()
+		if err != nil {
+			return nil, err
+		}
+		adv = a
+	}
+	ln := cfg.Listener
+	plan, err := faults.NewPlan(cfg.Spec.Fault)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Enabled() {
+		if _, ok := ln.(*FaultListener); !ok {
+			fl, err := NewFaultListener(ln, cfg.Spec.Fault, cfg.Transport)
+			if err != nil {
+				return nil, err
+			}
+			ln = fl
+		}
+	}
+	co := newCoordinator(cfg, adv, ln, plan)
+	defer co.close()
+	return co.run()
+}
+
+const (
+	phaseIdle = iota
+	phaseActs
+	phaseStatus
+	phaseStats
+)
+
+// inFrame is one frame (or read error) from a node's reader goroutine.
+type inFrame struct {
+	node, gen int
+	f         Frame
+	err       error
+}
+
+// joined is a handshake completion from the accept path.
+type joined struct {
+	conn     net.Conn
+	id       int
+	lastDone int
+}
+
+type link struct {
+	conn      net.Conn
+	connected bool
+	gen       int
+	everSeen  bool
+}
+
+type coordinator struct {
+	cfg       Config
+	spec      RunSpec
+	n, budget int
+	termNode  int
+	adv       dynet.Adversary
+	ln        net.Listener
+	observing bool
+
+	frames chan inFrame
+	conns  chan joined
+	quit   chan struct{}
+
+	links     []link
+	joinReady []bool
+
+	fr  *dynet.FaultRunner
+	jit *rng.Source
+
+	actions     []dynet.Action
+	outgoing    []dynet.Message
+	inboxes     [][]dynet.Message
+	dist, queue []int32
+
+	// outputs and statusDec track each node's last reported (output,
+	// decided); decided tracks Decide-event emission, mirroring the
+	// engine's observing bookkeeping.
+	outputs   []int64
+	statusDec []bool
+	decided   []bool
+
+	phase    int
+	round    int
+	curActs  []bool
+	curStats []bool
+	curDown  []bool
+	curInbox [][]dynet.Message
+	statsGot []bool
+
+	// Per-finalized-round log for crash-rejoin replay: the down mask and
+	// every node's post-fault inbox.
+	logDown  [][]bool
+	logInbox [][][]dynet.Message
+
+	maxRetries              int
+	roundTimeout, retryBase time.Duration
+
+	cRetries, cDeadlineHits, cReconnects, cCRC *obs.Counter
+	sendersHist, bitsHist                      *obs.Histogram
+}
+
+func newCoordinator(cfg Config, adv dynet.Adversary, ln net.Listener, plan *faults.Plan) *coordinator {
+	n := cfg.Spec.N
+	termNode, _ := cfg.Spec.TermNode()
+	co := &coordinator{
+		cfg:       cfg,
+		spec:      cfg.Spec,
+		n:         n,
+		budget:    dynet.Budget(n),
+		termNode:  termNode,
+		adv:       adv,
+		ln:        ln,
+		observing: cfg.Obs != nil,
+
+		frames: make(chan inFrame, 8*n+16),
+		conns:  make(chan joined, 2*n+4),
+		quit:   make(chan struct{}),
+
+		links:     make([]link, n),
+		joinReady: make([]bool, n),
+
+		fr:  dynet.NewFaultRunner(plan, cfg.Obs, cfg.Metrics, n),
+		jit: rng.New(cfg.Spec.Seed).Split('w', 'i', 'r', 'e'),
+
+		actions:  make([]dynet.Action, n),
+		outgoing: make([]dynet.Message, n),
+		inboxes:  make([][]dynet.Message, n),
+
+		outputs:   make([]int64, n),
+		statusDec: make([]bool, n),
+		decided:   make([]bool, n),
+
+		curActs:  make([]bool, n),
+		curStats: make([]bool, n),
+		curInbox: make([][]dynet.Message, n),
+		statsGot: make([]bool, n),
+
+		maxRetries:   cfg.MaxRetries,
+		roundTimeout: cfg.RoundTimeout,
+		retryBase:    cfg.RetryBase,
+
+		cRetries:      cfg.Transport.Counter("wire_retries_total"),
+		cDeadlineHits: cfg.Transport.Counter("wire_deadline_hits_total"),
+		cReconnects:   cfg.Transport.Counter("wire_reconnects_total"),
+		cCRC:          cfg.Transport.Counter("wire_coord_crc_rejects_total"),
+
+		sendersHist: cfg.Metrics.Histogram("engine_round_senders", dynet.RoundHistBounds),
+		bitsHist:    cfg.Metrics.Histogram("engine_round_bits", dynet.RoundHistBounds),
+	}
+	if co.maxRetries == 0 {
+		co.maxRetries = 8
+	}
+	if co.roundTimeout == 0 {
+		co.roundTimeout = 2 * time.Second
+	}
+	if co.retryBase == 0 {
+		co.retryBase = 25 * time.Millisecond
+	}
+	if cfg.Spec.CheckConnectivity {
+		co.dist = make([]int32, n)
+		co.queue = make([]int32, n)
+	}
+	return co
+}
+
+func (co *coordinator) close() {
+	close(co.quit)
+	co.ln.Close()
+	for v := range co.links {
+		if co.links[v].conn != nil {
+			co.links[v].conn.Close()
+		}
+	}
+}
+
+// run is the engine twin: same phases, same event order, same errors.
+func (co *coordinator) run() (*dynet.Result, error) {
+	go co.acceptLoop()
+	if err := co.waitAllJoined(); err != nil {
+		return nil, co.fail(err)
+	}
+	for v := 0; v < co.n; v++ {
+		co.decided[v] = co.statusDec[v]
+	}
+
+	maxRounds := co.spec.MaxRounds
+	res := &dynet.Result{Rounds: maxRounds}
+	for r := 1; r <= maxRounds; r++ {
+		co.round = r
+		if co.observing {
+			co.cfg.Obs.Emit(obs.Event{Kind: obs.KindRoundStart, Round: int32(r)})
+		}
+		co.curDown = nil
+		if co.fr != nil {
+			co.curDown = co.fr.BeginRound(r)
+		}
+
+		// Phase 1: STEP fan-out and ACT fan-in. Down nodes are frozen by
+		// the socket wrapper (their Step frames are swallowed, the crash
+		// transition hard-closes the connection); the coordinator commits
+		// a silent Receive for them, as the engine's step does.
+		co.phase = phaseActs
+		for v := 0; v < co.n; v++ {
+			co.curActs[v] = false
+			co.curStats[v] = false
+			if co.downNow(v) {
+				co.actions[v], co.outgoing[v] = dynet.Receive, dynet.Message{}
+				co.curActs[v] = true
+				co.curStats[v] = true
+			}
+		}
+		step := Frame{Type: FrameStep, Round: int32(r)}
+		for v := 0; v < co.n; v++ {
+			if co.links[v].connected {
+				co.writeTo(v, &step)
+			}
+		}
+		if err := co.await(r, co.allActs, co.pokeActs, "send/receive commitments"); err != nil {
+			return nil, co.fail(err)
+		}
+
+		// Budget scan, ascending: CONGEST enforced on the NBits that came
+		// off the socket, with the engine's exact error.
+		roundSenders, roundBits := 0, 0
+		for v := 0; v < co.n; v++ {
+			if co.actions[v] == dynet.Send {
+				if co.outgoing[v].NBits > co.budget {
+					return nil, co.fail(dynet.BudgetError(v, r, co.outgoing[v].NBits, co.budget))
+				}
+				roundSenders++
+				roundBits += co.outgoing[v].NBits
+				if co.observing {
+					co.cfg.Obs.Emit(obs.Event{Kind: obs.KindSend, Round: int32(r), Node: int32(v), A: int64(co.outgoing[v].NBits)})
+				}
+			}
+		}
+		res.Messages += roundSenders
+		res.Bits += roundBits
+		co.sendersHist.Observe(int64(roundSenders))
+		co.bitsHist.Observe(int64(roundBits))
+
+		// Phase 2: the adversary fixes the topology knowing the actions.
+		g := co.adv.Topology(r, co.actions)
+		if g == nil || g.N() != co.n {
+			return nil, co.fail(dynet.TopologySizeError(g, co.n))
+		}
+		if co.spec.CheckConnectivity && !g.ConnectedInto(co.dist, co.queue) {
+			return nil, co.fail(dynet.DisconnectedTopologyError(r))
+		}
+		if co.fr != nil && co.fr.HasEdgeFaults() {
+			g = co.fr.Perturb(r, g)
+		}
+
+		// Phase 3: inbox accounting. The coordinator assembles the same
+		// post-fault inboxes the engine would (fault events and counters
+		// included) — for the replay log and redelivery — while the live
+		// relays below carry the originals and take their faults on the
+		// wire. Plan purity keeps the two in exact agreement.
+		if co.fr != nil && co.fr.HasDeliveryOrNodeFaults() {
+			co.fr.Collect(r, g, co.actions, co.outgoing, co.inboxes)
+		} else {
+			dynet.CollectInboxes(g, co.actions, co.outgoing, co.inboxes)
+		}
+		co.snapshotInboxes()
+
+		// RELAY + DELIVER fan-out, receivers ascending, senders ascending
+		// within each receiver — the engine's collect order.
+		co.phase = phaseStatus
+		for v := 0; v < co.n; v++ {
+			if co.downNow(v) || !co.links[v].connected {
+				continue
+			}
+			if co.actions[v] == dynet.Receive {
+				for _, u := range g.Adj(v) {
+					if co.actions[u] != dynet.Send {
+						continue
+					}
+					relay := Frame{
+						Type: FrameRelay, Round: int32(r),
+						From: u, To: int32(v),
+						NBits:   int32(co.outgoing[u].NBits),
+						Payload: co.outgoing[u].Payload,
+					}
+					if !co.writeTo(v, &relay) {
+						break
+					}
+				}
+			}
+			co.writeTo(v, &Frame{Type: FrameDeliver, Round: int32(r)})
+		}
+		if err := co.await(r, co.allStats, co.pokeStatus, "round statuses"); err != nil {
+			return nil, co.fail(err)
+		}
+
+		if co.cfg.Trace != nil {
+			co.cfg.Trace.Record(r, g, co.actions, co.outgoing)
+		}
+		for v := 0; v < co.n; v++ {
+			if co.statusDec[v] && !co.decided[v] {
+				co.decided[v] = true
+				if co.observing {
+					co.cfg.Obs.Emit(obs.Event{Kind: obs.KindDecide, Round: int32(r), Node: int32(v), A: co.outputs[v]})
+				}
+			}
+		}
+		if co.observing {
+			co.cfg.Obs.Emit(obs.Event{Kind: obs.KindRoundEnd, Round: int32(r), A: int64(roundSenders), B: int64(roundBits)})
+		}
+
+		co.finalizeRound()
+		co.phase = phaseIdle
+		if co.terminated() {
+			res.Rounds = r
+			res.Done = true
+			break
+		}
+	}
+
+	res.Outputs = append([]int64(nil), co.outputs...)
+	res.Decided = append([]bool(nil), co.statusDec...)
+	if !res.Done && maxRounds < 1 {
+		res.Done = co.terminated()
+	}
+	if co.cfg.Metrics != nil {
+		co.cfg.Metrics.Counter("engine_rounds_total").Add(int64(res.Rounds))
+		co.cfg.Metrics.Counter("engine_messages_total").Add(int64(res.Messages))
+		co.cfg.Metrics.Counter("engine_bits_total").Add(int64(res.Bits))
+	}
+	co.finish()
+	return res, nil
+}
+
+func (co *coordinator) downNow(v int) bool { return co.curDown != nil && co.curDown[v] }
+
+func (co *coordinator) terminated() bool {
+	if co.termNode >= 0 {
+		return co.statusDec[co.termNode]
+	}
+	for _, d := range co.statusDec {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// finalizeRound snapshots the round into the replay log.
+func (co *coordinator) finalizeRound() {
+	var down []bool
+	if co.curDown != nil {
+		down = append([]bool(nil), co.curDown...)
+	}
+	co.logDown = append(co.logDown, down)
+	inboxes := make([][]dynet.Message, co.n)
+	copy(inboxes, co.curInbox)
+	co.logInbox = append(co.logInbox, inboxes)
+}
+
+// snapshotInboxes deep-copies the post-fault inboxes: the engine reuses
+// its inbox arenas every round, but the replay log and mid-round
+// redelivery need round-r's contents to survive round r+1.
+func (co *coordinator) snapshotInboxes() {
+	for v := 0; v < co.n; v++ {
+		src := co.inboxes[v]
+		if len(src) == 0 {
+			co.curInbox[v] = nil
+			continue
+		}
+		dst := make([]dynet.Message, len(src))
+		for i, m := range src {
+			dst[i] = dynet.Message{From: m.From, NBits: m.NBits, Payload: append([]byte(nil), m.Payload...)}
+		}
+		co.curInbox[v] = dst
+	}
+}
+
+func (co *coordinator) allActs() bool {
+	for v := 0; v < co.n; v++ {
+		if !co.curActs[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (co *coordinator) allStats() bool {
+	for v := 0; v < co.n; v++ {
+		if !co.curStats[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (co *coordinator) allJoined() bool {
+	for v := 0; v < co.n; v++ {
+		if !co.joinReady[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (co *coordinator) allStatsFrames() bool {
+	for v := 0; v < co.n; v++ {
+		if co.links[v].connected && !co.statsGot[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// pokeActs re-sends STEP to every up node still missing a commitment.
+func (co *coordinator) pokeActs() {
+	step := Frame{Type: FrameStep, Round: int32(co.round)}
+	for v := 0; v < co.n; v++ {
+		if !co.curActs[v] && co.links[v].connected {
+			co.writeTo(v, &step)
+		}
+	}
+}
+
+// pokeStatus redoes the round tail — STEP, the recorded post-fault inbox
+// under FlagNoFault, DELIVER — for every up node still missing a status.
+// The node side is idempotent, so a poke can never double-step or
+// double-deliver.
+func (co *coordinator) pokeStatus() {
+	for v := 0; v < co.n; v++ {
+		if !co.curStats[v] && co.links[v].connected {
+			co.redoRoundTail(v)
+		}
+	}
+}
+
+// redoRoundTail replays the current round's coordinator→node frames for
+// one node from the recorded post-fault inbox. FlagNoFault keeps the
+// socket wrapper from faulting the already-adjudicated copies twice.
+func (co *coordinator) redoRoundTail(v int) {
+	if !co.writeTo(v, &Frame{Type: FrameStep, Round: int32(co.round), Flags: FlagNoFault}) {
+		return
+	}
+	for _, m := range co.curInbox[v] {
+		relay := Frame{
+			Type: FrameRelay, Round: int32(co.round), Flags: FlagNoFault,
+			From: int32(m.From), To: int32(v), NBits: int32(m.NBits), Payload: m.Payload,
+		}
+		if !co.writeTo(v, &relay) {
+			return
+		}
+	}
+	co.writeTo(v, &Frame{Type: FrameDeliver, Round: int32(co.round), Flags: FlagNoFault})
+}
+
+// waitAllJoined blocks until every node has completed its handshake.
+func (co *coordinator) waitAllJoined() error {
+	return co.await(0, co.allJoined, func() {}, "node handshakes")
+}
+
+// await pumps events until cond holds, with per-attempt deadlines,
+// bounded retries, exponential backoff, and deterministic jitter.
+func (co *coordinator) await(r int, cond func() bool, poke func(), what string) error {
+	for attempt := 0; ; attempt++ {
+		if !co.pumpUntil(cond, co.attemptTimeout(r, attempt)) {
+			return nil
+		}
+		co.cDeadlineHits.Add(1)
+		if attempt >= co.maxRetries {
+			return fmt.Errorf("wire: run stalled in round %d waiting for %s (%d attempts)", r, what, attempt+1)
+		}
+		co.cRetries.Add(1)
+		poke()
+	}
+}
+
+// pumpUntil processes frames and joins until cond holds (returns false)
+// or the deadline passes (returns true).
+func (co *coordinator) pumpUntil(cond func() bool, d time.Duration) (timedOut bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for !cond() {
+		select {
+		case ev := <-co.frames:
+			co.handleFrame(ev)
+		case j := <-co.conns:
+			co.handleJoin(j)
+		case <-timer.C:
+			return true
+		}
+	}
+	return false
+}
+
+// attemptTimeout grows the barrier deadline exponentially with a
+// deterministic jitter drawn from the spec seed.
+func (co *coordinator) attemptTimeout(r, attempt int) time.Duration {
+	shift := attempt
+	if shift > 10 {
+		shift = 10
+	}
+	backoff := co.retryBase << uint(shift)
+	jitter := time.Duration(co.jit.Split('t', uint64(r), uint64(attempt)).Uint64() % uint64(co.retryBase))
+	return co.roundTimeout + backoff + jitter
+}
+
+// handleJoin adopts a freshly handshaken connection: welcome, replay the
+// node's gap, and start its reader. Called only from the coordinator
+// goroutine.
+func (co *coordinator) handleJoin(j joined) {
+	if j.id < 0 || j.id >= co.n {
+		j.conn.Close()
+		return
+	}
+	l := &co.links[j.id]
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.gen++
+	l.conn = j.conn
+	l.connected = true
+	if l.everSeen {
+		co.cReconnects.Add(1)
+	}
+	l.everSeen = true
+	if fc, ok := j.conn.(*FaultConn); ok {
+		fc.Bind(j.id)
+	}
+
+	specJSON, err := EncodeRunSpec(co.spec)
+	if err != nil {
+		co.markDead(j.id)
+		return
+	}
+	if !co.writeTo(j.id, &Frame{Type: FrameWelcome, Round: int32(len(co.logDown)), Payload: specJSON}) {
+		return
+	}
+	if finalized := len(co.logDown); j.lastDone < finalized {
+		payload := co.encodeReplay(j.id, j.lastDone+1, finalized)
+		if !co.writeTo(j.id, &Frame{Type: FrameReplay, Round: int32(finalized), Payload: payload}) {
+			return
+		}
+	}
+	go co.reader(j.id, l.gen, j.conn)
+}
+
+// reader pumps one connection's frames into the coordinator.
+func (co *coordinator) reader(node, gen int, conn net.Conn) {
+	for {
+		f, err := ReadFrame(conn)
+		select {
+		case co.frames <- inFrame{node: node, gen: gen, f: f, err: err}:
+		case <-co.quit:
+			return
+		}
+		if err != nil && !errors.Is(err, ErrCRC) {
+			return
+		}
+	}
+}
+
+func (co *coordinator) handleFrame(ev inFrame) {
+	v := ev.node
+	if ev.gen != co.links[v].gen {
+		return // stale connection generation
+	}
+	if ev.err != nil {
+		if errors.Is(ev.err, ErrCRC) {
+			// Node→coordinator frames are never fault-injected, so a CRC
+			// failure here is line noise: drop the record and let the
+			// round barrier's retry machinery re-poke.
+			co.cCRC.Add(1)
+			return
+		}
+		co.markDead(v)
+		return
+	}
+	f := ev.f
+	switch f.Type {
+	case FrameReady:
+		co.joinReady[v] = true
+		co.outputs[v] = frameOutput(f)
+		co.statusDec[v] = f.Flags&FlagDecided != 0
+		co.resyncNode(v)
+	case FrameAct:
+		if int(f.Round) != co.round || co.phase == phaseIdle || co.curActs[v] {
+			return
+		}
+		co.curActs[v] = true
+		if f.Flags&FlagSend != 0 {
+			co.actions[v] = dynet.Send
+			co.outgoing[v] = dynet.Message{From: v, Payload: f.Payload, NBits: int(f.NBits)}
+		} else {
+			co.actions[v] = dynet.Receive
+			co.outgoing[v] = dynet.Message{From: v}
+		}
+	case FrameStatus:
+		if int(f.Round) != co.round || co.phase != phaseStatus || co.curStats[v] {
+			return
+		}
+		co.curStats[v] = true
+		co.outputs[v] = frameOutput(f)
+		co.statusDec[v] = f.Flags&FlagDecided != 0
+	case FrameStats:
+		if !co.statsGot[v] {
+			co.statsGot[v] = true
+			co.foldNodeStats(f.Payload)
+		}
+	}
+}
+
+// resyncNode brings a rejoined node into the current phase: during the
+// commitment barrier a fresh STEP suffices; during the status barrier
+// the whole round tail is redone from the recorded inbox.
+func (co *coordinator) resyncNode(v int) {
+	if co.downNow(v) {
+		return
+	}
+	switch co.phase {
+	case phaseActs:
+		if !co.curActs[v] {
+			co.writeTo(v, &Frame{Type: FrameStep, Round: int32(co.round)})
+		}
+	case phaseStatus:
+		if !co.curStats[v] {
+			co.redoRoundTail(v)
+		}
+	case phaseStats:
+		if !co.statsGot[v] {
+			co.writeTo(v, &Frame{Type: FrameFinish})
+		}
+	}
+}
+
+// writeTo writes one frame to a node's link, arming a write deadline so
+// a wedged peer cannot block the barrier; a failed write marks the link
+// dead (the node will reconnect and resync).
+func (co *coordinator) writeTo(v int, f *Frame) bool {
+	l := &co.links[v]
+	if !l.connected {
+		return false
+	}
+	l.conn.SetWriteDeadline(time.Now().Add(co.roundTimeout)) //lint:allow wiredeterminism deadline arming is the sanctioned wall-clock use
+	if err := WriteFrame(l.conn, f); err != nil {
+		co.markDead(v)
+		return false
+	}
+	return true
+}
+
+func (co *coordinator) markDead(v int) {
+	l := &co.links[v]
+	if l.connected {
+		l.connected = false
+		l.conn.Close()
+	}
+}
+
+// fail aborts the cluster with the model error and returns it — the
+// distributed twin of the engine's error return.
+func (co *coordinator) fail(err error) error {
+	abort := Frame{Type: FrameAbort, Payload: []byte(err.Error())}
+	for v := 0; v < co.n; v++ {
+		if co.links[v].connected {
+			co.writeTo(v, &abort)
+		}
+	}
+	return err
+}
+
+// finish ends the run: FINISH fan-out, best-effort STATS fan-in (folded
+// into the transport registry), tolerant of nodes that already left.
+func (co *coordinator) finish() {
+	co.phase = phaseStats
+	fin := Frame{Type: FrameFinish}
+	for v := 0; v < co.n; v++ {
+		if co.links[v].connected {
+			co.writeTo(v, &fin)
+		}
+	}
+	// Stats are observability, not model state: exhaust the retry budget,
+	// then proceed without error.
+	co.await(co.round, co.allStatsFrames, func() {
+		fin := Frame{Type: FrameFinish}
+		for v := 0; v < co.n; v++ {
+			if co.links[v].connected && !co.statsGot[v] {
+				co.writeTo(v, &fin)
+			}
+		}
+	}, "transport stats")
+	co.phase = phaseIdle
+}
+
+// foldNodeStats merges one node's reported transport counters.
+func (co *coordinator) foldNodeStats(payload []byte) {
+	st, err := parseNodeStats(payload)
+	if err != nil {
+		return
+	}
+	tr := co.cfg.Transport
+	tr.Counter("wire_node_redials_total").Add(st.Redials)
+	tr.Counter("wire_crc_rejects_total").Add(st.CRCRejects)
+	tr.Counter("wire_replayed_rounds_total").Add(st.ReplayedRounds)
+}
+
+// acceptLoop accepts connections and handshakes each on its own
+// goroutine; completed handshakes are handed to the coordinator.
+func (co *coordinator) acceptLoop() {
+	for {
+		c, err := co.ln.Accept()
+		if err != nil {
+			return
+		}
+		go co.handshake(c)
+	}
+}
+
+// handshake reads the HELLO that opens every node connection.
+func (co *coordinator) handshake(c net.Conn) {
+	c.SetReadDeadline(time.Now().Add(co.roundTimeout * time.Duration(co.maxRetries+1))) //lint:allow wiredeterminism deadline arming is the sanctioned wall-clock use
+	f, err := ReadFrame(c)
+	if err != nil || f.Type != FrameHello {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	select {
+	case co.conns <- joined{conn: c, id: int(f.From), lastDone: int(f.Round)}:
+	case <-co.quit:
+		c.Close()
+	}
+}

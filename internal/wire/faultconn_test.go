@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"dyndiam/internal/faults"
+	"dyndiam/internal/obs"
+)
+
+// newFaultPipe wires a FaultConn over an in-memory pipe: the returned
+// conn is the injection side (coordinator), the raw end is the node.
+func newFaultPipe(t *testing.T, spec faults.Spec, reg *obs.Registry) (*FaultConn, net.Conn) {
+	t.Helper()
+	cw, nr := net.Pipe()
+	t.Cleanup(func() { cw.Close(); nr.Close() })
+	plan, err := faults.NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &FaultConn{
+		Conn:      cw,
+		plan:      plan,
+		node:      -1,
+		cDrops:    reg.Counter("wire_fault_drops_total"),
+		cCorrupts: reg.Counter("wire_fault_corrupts_total"),
+		cDups:     reg.Counter("wire_fault_dups_total"),
+		cCloses:   reg.Counter("wire_fault_crash_closes_total"),
+	}, nr
+}
+
+type readResult struct {
+	f   Frame
+	err error
+}
+
+func readFrames(c net.Conn) <-chan readResult {
+	ch := make(chan readResult, 64)
+	go func() {
+		defer close(ch)
+		for {
+			f, err := ReadFrame(c)
+			ch <- readResult{f, err}
+			if err != nil && !errors.Is(err, ErrCRC) {
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+func counterValue(reg *obs.Registry, name string) int64 {
+	for _, p := range reg.Snapshot() {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+func TestFaultConnDrop(t *testing.T) {
+	reg := obs.NewRegistry()
+	fc, raw := newFaultPipe(t, faults.Spec{Seed: 5, Drop: 1}, reg)
+	fc.Bind(0)
+	rx := readFrames(raw)
+
+	relay := Frame{Type: FrameRelay, Round: 1, From: 1, To: 0, NBits: 8, Payload: []byte{0xaa}}
+	if err := WriteFrame(fc, &relay); err != nil {
+		t.Fatal(err)
+	}
+	deliver := Frame{Type: FrameDeliver, Round: 1}
+	if err := WriteFrame(fc, &deliver); err != nil {
+		t.Fatal(err)
+	}
+	// Ordering is the proof: the frame after the dropped relay arrives first.
+	got := <-rx
+	if got.err != nil || got.f.Type != FrameDeliver {
+		t.Fatalf("after dropped relay: got %v (err %v), want the deliver", got.f, got.err)
+	}
+	if n := counterValue(reg, "wire_fault_drops_total"); n != 1 {
+		t.Fatalf("wire_fault_drops_total = %d, want 1", n)
+	}
+}
+
+func TestFaultConnCorruptMatchesPlan(t *testing.T) {
+	spec := faults.Spec{Seed: 9, Corrupt: 1}
+	reg := obs.NewRegistry()
+	fc, raw := newFaultPipe(t, spec, reg)
+	fc.Bind(0)
+	rx := readFrames(raw)
+
+	payload := []byte{0x00, 0x00, 0x00, 0x00}
+	relay := Frame{Type: FrameRelay, Round: 1, From: 1, To: 0, NBits: 32, Payload: payload}
+	if err := WriteFrame(fc, &relay); err != nil {
+		t.Fatal(err)
+	}
+	got := <-rx
+	if !errors.Is(got.err, ErrCRC) {
+		t.Fatalf("corrupted relay: err = %v, want ErrCRC", got.err)
+	}
+	// An independent plan from the same spec must predict the exact bit —
+	// that purity is what lets the receiver adjudicate the damage.
+	plan, err := faults.NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Delivery(1, 1, 0, 32)
+	if d.FlipBit < 0 {
+		t.Fatal("independent plan does not predict corruption; spec purity broken")
+	}
+	want := append([]byte(nil), payload...)
+	want[d.FlipBit/8] ^= 1 << uint(d.FlipBit%8)
+	if !bytes.Equal(got.f.Payload, want) {
+		t.Fatalf("corrupted payload = %v, want %v (flip bit %d)", got.f.Payload, want, d.FlipBit)
+	}
+	if n := counterValue(reg, "wire_fault_corrupts_total"); n != 1 {
+		t.Fatalf("wire_fault_corrupts_total = %d, want 1", n)
+	}
+}
+
+func TestFaultConnDup(t *testing.T) {
+	reg := obs.NewRegistry()
+	fc, raw := newFaultPipe(t, faults.Spec{Seed: 11, Dup: 1}, reg)
+	fc.Bind(0)
+	rx := readFrames(raw)
+
+	relay := Frame{Type: FrameRelay, Round: 1, From: 1, To: 0, NBits: 8, Payload: []byte{0x0f}}
+	if err := WriteFrame(fc, &relay); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got := <-rx
+		if got.err != nil || got.f.Type != FrameRelay || !bytes.Equal(got.f.Payload, []byte{0x0f}) {
+			t.Fatalf("dup copy %d: got %v (err %v)", i, got.f, got.err)
+		}
+	}
+	if n := counterValue(reg, "wire_fault_dups_total"); n != 1 {
+		t.Fatalf("wire_fault_dups_total = %d, want 1", n)
+	}
+}
+
+func TestFaultConnNoFaultFlagAndUnbound(t *testing.T) {
+	reg := obs.NewRegistry()
+	fc, raw := newFaultPipe(t, faults.Spec{Seed: 5, Drop: 1}, reg)
+	rx := readFrames(raw)
+
+	// Unbound (pre-handshake): everything passes.
+	relay := Frame{Type: FrameRelay, Round: 1, From: 1, To: 0, NBits: 8, Payload: []byte{1}}
+	if err := WriteFrame(fc, &relay); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-rx; got.err != nil || got.f.Type != FrameRelay {
+		t.Fatalf("unbound conn faulted a frame: %v (err %v)", got.f, got.err)
+	}
+
+	// Bound, but flagged NoFault (redelivery of adjudicated copies): passes.
+	fc.Bind(0)
+	relay.Flags = FlagNoFault
+	if err := WriteFrame(fc, &relay); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-rx; got.err != nil || got.f.Type != FrameRelay {
+		t.Fatalf("NoFault frame faulted: %v (err %v)", got.f, got.err)
+	}
+	if n := counterValue(reg, "wire_fault_drops_total"); n != 0 {
+		t.Fatalf("wire_fault_drops_total = %d, want 0", n)
+	}
+}
+
+func TestFaultConnCrashClosesAtTransition(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := faults.Spec{Outages: []faults.Outage{{Node: 0, From: 2, Until: 4}}}
+	fc, raw := newFaultPipe(t, spec, reg)
+	fc.Bind(0)
+	rx := readFrames(raw)
+
+	if err := WriteFrame(fc, &Frame{Type: FrameStep, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-rx; got.err != nil || got.f.Round != 1 {
+		t.Fatalf("pre-outage step: %v (err %v)", got.f, got.err)
+	}
+	// Round 2 is the crash transition: the step is swallowed and the
+	// connection hard-closed — the socket-level form of the crash fault.
+	_ = WriteFrame(fc, &Frame{Type: FrameStep, Round: 2}) // the close may surface here or on the reader
+	got := <-rx
+	if got.err == nil {
+		t.Fatalf("connection survived the crash transition: got %v", got.f)
+	}
+	if n := counterValue(reg, "wire_fault_crash_closes_total"); n != 1 {
+		t.Fatalf("wire_fault_crash_closes_total = %d, want 1", n)
+	}
+}
+
+func TestFaultConnReassemblesSplitWrites(t *testing.T) {
+	reg := obs.NewRegistry()
+	fc, raw := newFaultPipe(t, faults.Spec{Seed: 5, Drop: 1}, reg)
+	fc.Bind(0)
+	rx := readFrames(raw)
+
+	// One record dribbled byte by byte, then a relay and a deliver fused
+	// into a single Write: record extraction must be boundary-exact.
+	relay := AppendFrame(nil, &Frame{Type: FrameRelay, Round: 1, From: 1, To: 0, NBits: 8, Payload: []byte{9}})
+	for _, b := range relay {
+		if _, err := fc.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fused := AppendFrame(nil, &Frame{Type: FrameRelay, Round: 1, From: 2, To: 0, NBits: 8, Payload: []byte{8}})
+	fused = AppendFrame(fused, &Frame{Type: FrameDeliver, Round: 1})
+	if _, err := fc.Write(fused); err != nil {
+		t.Fatal(err)
+	}
+	got := <-rx
+	if got.err != nil || got.f.Type != FrameDeliver {
+		t.Fatalf("after two dropped relays: got %v (err %v), want the deliver", got.f, got.err)
+	}
+	if n := counterValue(reg, "wire_fault_drops_total"); n != 2 {
+		t.Fatalf("wire_fault_drops_total = %d, want 2", n)
+	}
+}
+
+func TestFaultListenerWrapsAccepts(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := NewFaultListener(raw, faults.Spec{Drop: -1}, nil); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	fl, err := NewFaultListener(raw, faults.Spec{Seed: 1, Drop: 0.5}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := net.Dial("tcp", raw.Addr().String())
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := fl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*FaultConn); !ok {
+		t.Fatalf("Accept returned %T, want *FaultConn", c)
+	}
+	<-done
+}

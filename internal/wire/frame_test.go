@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, From: 3, Round: 17},
+		{Type: FrameStep, Round: 1},
+		{Type: FrameAct, Flags: FlagSend, Round: 9, From: 2, NBits: 52, Payload: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Type: FrameRelay, Flags: FlagNoFault, Round: 4, From: 1, To: 6, NBits: 8, Payload: []byte{0xff}},
+		{Type: FrameStatus, Flags: FlagDecided, Round: 12, From: 0, Payload: appendOutput(-42)},
+		{Type: FrameAbort, Payload: []byte("dynet: adversary returned disconnected topology in round 3")},
+		{Type: FrameDeliver, Round: 1 << 20},
+	}
+	var buf bytes.Buffer
+	for i := range frames {
+		if err := WriteFrame(&buf, &frames[i]); err != nil {
+			t.Fatalf("WriteFrame(%v): %v", frames[i], err)
+		}
+	}
+	for i := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		want := frames[i]
+		if got.Type != want.Type || got.Flags != want.Flags || got.Round != want.Round ||
+			got.From != want.From || got.To != want.To || got.NBits != want.NBits ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame #%d round-trip: got %v, want %v", i, got, want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes after reading all frames", buf.Len())
+	}
+}
+
+func TestFrameCRCMismatchReturnsParsedFrame(t *testing.T) {
+	f := Frame{Type: FrameRelay, Round: 7, From: 2, To: 5, NBits: 24, Payload: []byte{1, 2, 3}}
+	rec := AppendFrame(nil, &f)
+	// Flip one payload bit the way the fault layer does, leaving the CRC stale.
+	rec[4+frameHeaderLen] ^= 0x01
+
+	got, err := ReadFrame(bytes.NewReader(rec))
+	if !errors.Is(err, ErrCRC) {
+		t.Fatalf("ReadFrame of corrupted record: err = %v, want ErrCRC", err)
+	}
+	if got.Type != FrameRelay || got.Round != 7 || got.From != 2 || got.To != 5 || got.NBits != 24 {
+		t.Fatalf("corrupted frame not parsed alongside ErrCRC: %v", got)
+	}
+	if want := []byte{0, 2, 3}; !bytes.Equal(got.Payload, want) {
+		t.Fatalf("corrupted payload = %v, want %v", got.Payload, want)
+	}
+}
+
+func TestReadFrameRejectsBadLength(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 1, 9})); err == nil {
+		t.Fatal("undersized length accepted")
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	f := Frame{Type: FrameStep, Round: 3}
+	rec := AppendFrame(nil, &f)
+	for cut := 1; cut < len(rec); cut++ {
+		_, err := ReadFrame(bytes.NewReader(rec[:cut]))
+		if err == nil || errors.Is(err, ErrCRC) {
+			t.Fatalf("truncation at %d/%d bytes: err = %v, want transport error", cut, len(rec), err)
+		}
+	}
+}
+
+// writeCounter pins the one-record-per-Write contract FaultConn relies on.
+type writeCounter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+func TestWriteFrameSingleWrite(t *testing.T) {
+	var w writeCounter
+	f := Frame{Type: FrameRelay, Round: 2, From: 0, To: 1, NBits: 16, Payload: []byte{7, 7}}
+	if err := WriteFrame(&w, &f); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("WriteFrame used %d Write calls, want 1", w.writes)
+	}
+	if _, err := ReadFrame(&w.buf); err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
