@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCHOUT ?=
-FUZZPKGS ?= ./internal/dynet ./internal/faults
+FUZZPKGS ?= ./internal/dynet ./internal/faults ./internal/advsearch
 
 .PHONY: build test race lint fuzz bench chaos ci
 

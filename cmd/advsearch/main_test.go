@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dyndiam/internal/advsearch"
+)
+
+// tinyOpts is a fast single-protocol search the CLI tests share.
+func tinyOpts() options {
+	return options{
+		protocols:  []string{"cflood_known"},
+		n:          8,
+		mode:       "greedy",
+		restarts:   2,
+		steps:      3,
+		seed:       7,
+		evalBudget: 100_000,
+		top:        2,
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	var first, second bytes.Buffer
+	if err := run(tinyOpts(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyOpts(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("two identical runs diverged:\n%s\n---\n%s", first.String(), second.String())
+	}
+	out := first.String()
+	for _, want := range []string{
+		"advsearch: proto=cflood_known n=8",
+		"Adversary synthesis",
+		"cflood_known",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesTableAndCorpus(t *testing.T) {
+	dir := t.TempDir()
+	opts := tinyOpts()
+	opts.tableOut = filepath.Join(dir, "table.txt")
+	opts.corpusDir = filepath.Join(dir, "corpus")
+	var out bytes.Buffer
+	if err := run(opts, &out); err != nil {
+		t.Fatal(err)
+	}
+	table, err := os.ReadFile(opts.tableOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), string(table)) {
+		t.Fatal("-table-out file is not the table printed to stdout")
+	}
+	files, err := os.ReadDir(opts.corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("-corpus-dir produced no entries")
+	}
+	for _, f := range files {
+		if !strings.HasPrefix(f.Name(), "cflood_known-s7-") || !strings.HasSuffix(f.Name(), ".json") {
+			t.Errorf("unexpected corpus file name %q", f.Name())
+		}
+	}
+}
+
+func TestRunExpectConstructed(t *testing.T) {
+	// Zero budget: the only candidate is the construction, so the gate
+	// passes by definition.
+	opts := tinyOpts()
+	opts.restarts = 0
+	opts.expectConstructed = true
+	var out bytes.Buffer
+	if err := run(opts, &out); err != nil {
+		t.Fatalf("zero-budget -expect-constructed failed: %v", err)
+	}
+	// Leader election has real search headroom, so a funded search must
+	// trip the gate.
+	opts = tinyOpts()
+	opts.protocols = []string{"leaderelect"}
+	opts.restarts = 4
+	opts.steps = 8
+	opts.expectConstructed = true
+	out.Reset()
+	if err := run(opts, &out); err == nil {
+		t.Fatal("-expect-constructed passed despite the search beating the construction")
+	}
+}
+
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	var direct bytes.Buffer
+	if err := run(tinyOpts(), &direct); err != nil {
+		t.Fatal(err)
+	}
+	// A run that checkpointed throughout, then a resume from its final
+	// state, must both land on the direct run's bytes.
+	opts := tinyOpts()
+	opts.checkpoint = filepath.Join(dir, "ckpt")
+	var ckpt bytes.Buffer
+	if err := run(opts, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.String() != direct.String() {
+		t.Fatal("checkpointed run output differs from direct run")
+	}
+	if _, err := os.Stat(opts.checkpoint + ".cflood_known"); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	opts.resume = true
+	var resumed bytes.Buffer
+	if err := run(opts, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != direct.String() {
+		t.Fatal("resumed run output differs from direct run")
+	}
+}
+
+func TestReplayCorpusEntry(t *testing.T) {
+	entries, err := advsearch.LoadCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("embedded corpus is empty")
+	}
+	opts := options{replay: entries[0].Name}
+	var out bytes.Buffer
+	if err := runReplay(opts, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replay "+entries[0].Name) {
+		t.Fatalf("replay output missing entry name: %s", out.String())
+	}
+	opts.replay = "no-such-entry"
+	if err := runReplay(opts, &out); err == nil {
+		t.Fatal("replay of a missing entry did not error")
+	}
+}

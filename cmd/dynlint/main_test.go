@@ -74,10 +74,10 @@ func TestRunList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	if got := countLines(stdout.String()); got != 12 {
-		t.Errorf("rule list has %d lines, want 12:\n%s", got, stdout.String())
+	if got := countLines(stdout.String()); got != 13 {
+		t.Errorf("rule list has %d lines, want 13:\n%s", got, stdout.String())
 	}
-	for _, rule := range []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "servedeterminism", "wiredeterminism", "congestsend", "panicfree", "printclean", "hotpathalloc", "puritytaint", "staleallow"} {
+	for _, rule := range []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "servedeterminism", "wiredeterminism", "searchdeterminism", "congestsend", "panicfree", "printclean", "hotpathalloc", "puritytaint", "staleallow"} {
 		if !strings.Contains(stdout.String(), rule) {
 			t.Errorf("rule %s missing from -list output", rule)
 		}

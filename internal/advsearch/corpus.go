@@ -1,0 +1,89 @@
+package advsearch
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// The regression corpus: adversarial schedules the search discovered,
+// frozen with the hardness they exhibited when found. TestCorpusHardness
+// replays every entry and asserts the recorded rounds-to-termination bit
+// for bit, so protocol or engine changes that would soften a discovered
+// worst case fail loudly instead of silently regressing the lower-bound
+// reproductions. Entries are written by `dynadvsearch -corpus-dir`.
+//
+//go:embed corpus/*.json
+var corpusFS embed.FS
+
+// CorpusEntry is one frozen discovery. Schedule plus EvalSeed and
+// EvalBudget fully determine the replay; Hardness and Score are what
+// the replay must reproduce exactly.
+type CorpusEntry struct {
+	Name             string   `json:"name"`
+	Proto            Proto    `json:"proto"`
+	Origin           string   `json:"origin"`
+	SearchSeed       uint64   `json:"search_seed"`
+	EvalSeed         uint64   `json:"eval_seed"`
+	EvalBudget       int      `json:"eval_budget"`
+	Schedule         Schedule `json:"schedule"`
+	Hardness         Hardness `json:"hardness"`
+	Score            int64    `json:"score"`
+	ConstructedScore int64    `json:"constructed_score"`
+}
+
+// LoadCorpus returns every embedded corpus entry, sorted by file name
+// (ReadDir order), each validated against its own schedule invariants.
+func LoadCorpus() ([]CorpusEntry, error) {
+	files, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		return nil, fmt.Errorf("advsearch: reading corpus: %v", err)
+	}
+	var entries []CorpusEntry
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+			continue
+		}
+		data, err := corpusFS.ReadFile("corpus/" + f.Name())
+		if err != nil {
+			return nil, err
+		}
+		var e CorpusEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("advsearch: corpus entry %s: %v", f.Name(), err)
+		}
+		if want := strings.TrimSuffix(f.Name(), ".json"); e.Name != want {
+			return nil, fmt.Errorf("advsearch: corpus entry %s names itself %q", f.Name(), e.Name)
+		}
+		if _, err := ParseProto(string(e.Proto)); err != nil {
+			return nil, fmt.Errorf("advsearch: corpus entry %s: %v", f.Name(), err)
+		}
+		if err := e.Schedule.Validate(); err != nil {
+			return nil, fmt.Errorf("advsearch: corpus entry %s: %v", f.Name(), err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// CorpusEntriesFromReport freezes a report's top discoveries as corpus
+// entries named <proto>-s<seed>-<k>.
+func CorpusEntriesFromReport(rep *Report) []CorpusEntry {
+	entries := make([]CorpusEntry, 0, len(rep.Top))
+	for k, c := range rep.Top {
+		entries = append(entries, CorpusEntry{
+			Name:             fmt.Sprintf("%s-s%d-%02d", rep.Config.Proto, rep.Config.Seed, k),
+			Proto:            rep.Config.Proto,
+			Origin:           c.Origin,
+			SearchSeed:       rep.Config.Seed,
+			EvalSeed:         rep.Config.EvalSeed,
+			EvalBudget:       rep.Config.EvalBudget,
+			Schedule:         c.Schedule,
+			Hardness:         c.Hardness,
+			Score:            c.Score,
+			ConstructedScore: rep.Constructed.Score,
+		})
+	}
+	return entries
+}

@@ -1,0 +1,62 @@
+package advsearch
+
+import "testing"
+
+// TestCorpusHardness is the regression gate over the frozen discoveries:
+// every corpus entry re-evaluates to its recorded rounds-to-termination
+// (and diameter) bit for bit, and every searched protocol ships at least
+// three discovered schedules. A protocol or engine change that softens a
+// discovered worst case — or hardens it — fails here, making adversary
+// hardness an explicit contract instead of an accident of the current
+// code.
+func TestCorpusHardness(t *testing.T) {
+	entries, err := LoadCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProto := map[Proto]int{}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			h, err := Evaluate(e.Proto, e.Schedule, e.EvalSeed, e.EvalBudget, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h != e.Hardness {
+				t.Fatalf("replayed hardness %+v does not match recorded %+v", h, e.Hardness)
+			}
+			if got := h.ScoreFor(e.Proto); got != e.Score {
+				t.Fatalf("replayed score %d does not match recorded %d", got, e.Score)
+			}
+		})
+		perProto[e.Proto]++
+	}
+	for _, p := range Protocols() {
+		if perProto[p] < 3 {
+			t.Errorf("corpus holds %d entries for %s, want at least 3", perProto[p], p)
+		}
+	}
+}
+
+// TestCorpusBeatsOrRecordsBaseline documents the discovered-vs-
+// constructed relationship the corpus froze: every entry records the
+// constructed baseline score it was measured against, and at least one
+// entry (leader election) strictly beats its construction.
+func TestCorpusBeatsOrRecordsBaseline(t *testing.T) {
+	entries, err := LoadCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats := 0
+	for _, e := range entries {
+		if e.ConstructedScore <= 0 {
+			t.Errorf("%s: constructed score %d not recorded", e.Name, e.ConstructedScore)
+		}
+		if e.Score > e.ConstructedScore {
+			beats++
+		}
+	}
+	if beats == 0 {
+		t.Error("no corpus entry beats its construction; the leader discoveries should")
+	}
+}

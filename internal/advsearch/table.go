@@ -1,0 +1,53 @@
+package advsearch
+
+import "dyndiam/internal/harness"
+
+// HardnessRow is one protocol's discovered-vs-constructed comparison.
+type HardnessRow struct {
+	Proto            Proto  `json:"proto"`
+	N                int    `json:"n"`
+	ConstructedRnds  int    `json:"constructed_rounds"`
+	ConstructedD     int    `json:"constructed_d"`
+	ConstructedScore int64  `json:"constructed_score"`
+	DiscoveredRnds   int    `json:"discovered_rounds"`
+	DiscoveredD      int    `json:"discovered_d"`
+	DiscoveredScore  int64  `json:"discovered_score"`
+	Origin           string `json:"origin"`
+	Evaluated        int    `json:"evaluated"`
+}
+
+// RowFromReport condenses one search report into its table row.
+func RowFromReport(rep *Report) HardnessRow {
+	return HardnessRow{
+		Proto:            rep.Config.Proto,
+		N:                rep.Config.N,
+		ConstructedRnds:  rep.Constructed.Hardness.Rounds,
+		ConstructedD:     rep.Constructed.Hardness.D,
+		ConstructedScore: rep.Constructed.Score,
+		DiscoveredRnds:   rep.Best.Hardness.Rounds,
+		DiscoveredD:      rep.Best.Hardness.D,
+		DiscoveredScore:  rep.Best.Score,
+		Origin:           rep.Best.Origin,
+		Evaluated:        rep.Evaluated,
+	}
+}
+
+// FormatHardnessTable renders the discovered-vs-constructed comparison.
+// "ratio" is discovered score over constructed score: 1.00 means the
+// search matched the paper's hand-built adversary, above 1.00 it beat
+// it.
+func FormatHardnessTable(rows []HardnessRow) *harness.Table {
+	t := &harness.Table{
+		Caption: "Adversary synthesis: discovered vs constructed hardness (score = rounds; unknown-D CFLOOD: rounds*1000/D)",
+		Header:  []string{"protocol", "N", "constr rnds", "constr D", "constr score", "disc rnds", "disc D", "disc score", "ratio", "best origin", "evals"},
+	}
+	for _, r := range rows {
+		ratio := 0.0
+		if r.ConstructedScore > 0 {
+			ratio = float64(r.DiscoveredScore) / float64(r.ConstructedScore)
+		}
+		t.Add(string(r.Proto), r.N, r.ConstructedRnds, r.ConstructedD, r.ConstructedScore,
+			r.DiscoveredRnds, r.DiscoveredD, r.DiscoveredScore, ratio, r.Origin, r.Evaluated)
+	}
+	return t
+}

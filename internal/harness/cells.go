@@ -206,6 +206,18 @@ func forEachCell(cells int, fn func(i int, reg *obs.Registry) error) error {
 	return nil
 }
 
+// ForEachCell exposes the deterministic sweep-cell runner to sweeps that
+// live outside this package (the adversary-synthesis harness in
+// internal/advsearch). The contract is forEachCell's: fn(i, reg) must
+// derive all of its randomness from the cell index i (never from
+// execution order), write only its own result slot, and treat reg as its
+// private metrics registry (nil unless sweep metrics or spans are
+// enabled). Under that contract results are identical at every
+// SweepWorkers setting.
+func ForEachCell(cells int, fn func(i int, reg *obs.Registry) error) error {
+	return forEachCell(cells, fn)
+}
+
 // TrialSeeds derives trials independent seeds from root by rng splitting.
 // Trial t's seed depends only on (root, t), so repeated-trial sweeps stay
 // reproducible cell by cell no matter how cells are scheduled.

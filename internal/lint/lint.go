@@ -280,6 +280,7 @@ func DefaultAnalyzers() []*Analyzer {
 		FaultsDeterminism,
 		ServeDeterminism,
 		WireDeterminism,
+		SearchDeterminism,
 		CongestSend,
 		PanicFree,
 		PrintClean,

@@ -82,6 +82,7 @@ func TestAnalyzers(t *testing.T) {
 		{FaultsDeterminism, "faultsdeterminism"},
 		{ServeDeterminism, "servedeterminism"},
 		{WireDeterminism, "wiredeterminism"},
+		{SearchDeterminism, "searchdeterminism"},
 		{CongestSend, "congestsend"},
 		{PanicFree, "panicfree"},
 		{PrintClean, "printclean"},
@@ -110,15 +111,16 @@ func TestAnalyzers(t *testing.T) {
 // bypassed, as this test does.
 func TestRuleExclusivity(t *testing.T) {
 	all := DefaultAnalyzers()
-	corpora := []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "servedeterminism", "wiredeterminism", "congestsend", "panicfree", "printclean"}
+	corpora := []string{"determinism", "maporder", "obsdeterminism", "faultsdeterminism", "servedeterminism", "wiredeterminism", "searchdeterminism", "congestsend", "panicfree", "printclean"}
 	intendedOverlap := map[string]map[string]bool{
-		"determinism": {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true}, // all five ban the wall clock
+		"determinism": {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true, "searchdeterminism": true}, // all six ban the wall clock
 		// Every maporder range is also a map range under the strict rules.
-		"maporder":          {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true},
-		"obsdeterminism":    {"determinism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true}, // time.Now + map ranges co-fire
-		"faultsdeterminism": {"determinism": true, "obsdeterminism": true, "servedeterminism": true, "wiredeterminism": true},    // same strict-superset pattern
-		"servedeterminism":  {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true, "wiredeterminism": true},   // same strict-superset pattern
-		"wiredeterminism":   {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true},  // same strict-superset pattern
+		"maporder":          {"obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true, "searchdeterminism": true},
+		"obsdeterminism":    {"determinism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true, "searchdeterminism": true}, // time.Now + map ranges co-fire
+		"faultsdeterminism": {"determinism": true, "obsdeterminism": true, "servedeterminism": true, "wiredeterminism": true, "searchdeterminism": true},    // same strict-superset pattern
+		"servedeterminism":  {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true, "wiredeterminism": true, "searchdeterminism": true},   // same strict-superset pattern
+		"wiredeterminism":   {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true, "searchdeterminism": true},  // same strict-superset pattern
+		"searchdeterminism": {"determinism": true, "obsdeterminism": true, "faultsdeterminism": true, "servedeterminism": true, "wiredeterminism": true},    // same strict-superset pattern
 	}
 	for _, corpus := range corpora {
 		pkg := loadCorpus(t, corpus)
@@ -191,6 +193,13 @@ func TestScopes(t *testing.T) {
 		{"wiredeterminism", "dyndiam/internal/serve", false},
 		{"wiredeterminism", "dyndiam/internal/dynet", false},
 		{"wiredeterminism", "dyndiam/cmd/dynnode", false},
+		// Adversary search results are triple reproducibility contracts
+		// (worker-count goldens, checkpoint resume, corpus replay), so the
+		// strict rule covers the search layer but not its CLI.
+		{"searchdeterminism", "dyndiam/internal/advsearch", true},
+		{"searchdeterminism", "dyndiam/internal/harness", false},
+		{"searchdeterminism", "dyndiam/internal/serve", false},
+		{"searchdeterminism", "dyndiam/cmd/advsearch", false},
 		{"congestsend", "dyndiam/internal/protocols/leader", true},
 		{"congestsend", "dyndiam/internal/dynet", false},
 		{"panicfree", "dyndiam/internal/graph", true},

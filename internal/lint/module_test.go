@@ -161,12 +161,12 @@ func TestRunModuleRuleSubset(t *testing.T) {
 // staleallow) that cmd/dynlint -list must print.
 func TestAllRules(t *testing.T) {
 	rules := AllRules(DefaultAnalyzers(), DefaultModuleAnalyzers())
-	if len(rules) != 12 {
+	if len(rules) != 13 {
 		var names []string
 		for _, r := range rules {
 			names = append(names, r.Name)
 		}
-		t.Fatalf("got %d rules (%v), want 12", len(rules), names)
+		t.Fatalf("got %d rules (%v), want 13", len(rules), names)
 	}
 	if rules[len(rules)-1].Name != StaleAllowName {
 		t.Errorf("staleallow must be listed last, got %s", rules[len(rules)-1].Name)

@@ -14,7 +14,7 @@ import (
 // demonstrates the single-rule form on the loop itself.
 func SortedValues(m map[int]int) []int {
 	var out []int
-	//lint:allow obsdeterminism,servedeterminism,wiredeterminism fixture demonstrates the comma-list escape hatch
+	//lint:allow obsdeterminism,servedeterminism,wiredeterminism,searchdeterminism fixture demonstrates the comma-list escape hatch
 	for _, v := range m { //lint:allow faultsdeterminism fixture demonstrates the strict-rule escape hatch
 
 		//lint:allow maporder collected slice is sorted before being returned
@@ -53,7 +53,7 @@ func TrailingScope(v int) {
 // away to keep each line at one want marker).
 func WrongRule(m map[int]int) []int {
 	var out []int
-	//lint:allow faultsdeterminism,servedeterminism,wiredeterminism keep this line at a single want marker
+	//lint:allow faultsdeterminism,servedeterminism,wiredeterminism,searchdeterminism keep this line at a single want marker
 	for k := range m { // want:obsdeterminism
 		//lint:allow panicfree mismatched rule name
 		out = append(out, k) // want:maporder

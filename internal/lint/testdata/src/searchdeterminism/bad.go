@@ -1,0 +1,43 @@
+// Package searchdeterminism is a lint fixture for the searchdeterminism
+// analyzer. Every map iteration below is order-independent in the
+// maporder sense — nothing leaks iteration order into a result — so the
+// general rule stays silent; the adversary-search layer bans them anyway.
+package searchdeterminism
+
+import "time"
+
+type candidate struct {
+	seq   int
+	score int64
+}
+
+type pool struct {
+	seen  map[string]candidate
+	order []string
+}
+
+// TotalScore sums candidate scores commutatively. Order-independent, so
+// maporder is silent — but a search folding over a map is one refactor
+// away from letting iteration order pick the reported best.
+func TotalScore(p *pool) int64 {
+	var total int64
+	for _, c := range p.seen { // want:searchdeterminism
+		total += c.score
+	}
+	return total
+}
+
+// MarkEvaluated flags every seen candidate. The iteration writes through
+// a keyed index, which maporder does not track; the visit order is still
+// randomized map order.
+func MarkEvaluated(p *pool, done map[int]bool) {
+	for _, c := range p.seen { // want:searchdeterminism
+		done[c.seq] = true
+	}
+}
+
+// Expired cuts a search off against the wall clock instead of an
+// evaluation budget.
+func Expired(deadline int64) bool {
+	return time.Now().Unix() > deadline // want:searchdeterminism
+}

@@ -1,0 +1,24 @@
+package searchdeterminism
+
+// Candidates walks the insertion-order slice and consults the map only
+// for keyed lookups — the pattern the search layer uses in place of map
+// iteration (dedupe by key, fold in Seq order).
+func Candidates(p *pool) []candidate {
+	var out []candidate
+	for _, key := range p.order {
+		out = append(out, p.seen[key])
+	}
+	return out
+}
+
+// Best folds the Seq-ordered slice, so ties resolve by birth ordinal —
+// deterministic at any worker count.
+func Best(cs []candidate) candidate {
+	best := cs[0]
+	for _, c := range cs[1:] {
+		if c.score > best.score {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalizeAdvSearchDefaults(t *testing.T) {
+	t.Parallel()
+	n, err := normalize(KindAdvSearch, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Params{N: 10, Seed: 1, Proto: "cflood_known", Mode: "greedy", Horizon: 20, Restarts: 2, Steps: 8}
+	if !reflect.DeepEqual(n, want) {
+		t.Fatalf("defaults = %+v, want %+v", n, want)
+	}
+	// Fields other kinds read must be zeroed so equivalent submissions
+	// share a cache entry.
+	n, err = normalize(KindAdvSearch, Params{Trials: 50, Dim: "drop", Figure: 2, TargetDiam: 3, Proto: "leaderelect"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Trials != 0 || n.Dim != "" || n.Figure != 0 || n.TargetDiam != 0 {
+		t.Fatalf("irrelevant fields survived normalization: %+v", n)
+	}
+	if n.Proto != "leaderelect" {
+		t.Fatalf("proto not preserved: %+v", n)
+	}
+}
+
+func TestNormalizeAdvSearchRejects(t *testing.T) {
+	t.Parallel()
+	cases := []Params{
+		{Proto: "nosuch"},
+		{Mode: "annealing"},
+		{N: 3},
+		{N: maxAdvN + 1},
+		{Horizon: 400},
+		{Restarts: maxAdvRestarts + 1},
+		{Steps: maxAdvSteps + 1},
+	}
+	for _, p := range cases {
+		if _, err := normalize(KindAdvSearch, p); err == nil {
+			t.Errorf("normalize accepted %+v", p)
+		}
+	}
+}
+
+// TestAdvSearchJobEndToEnd runs a tiny real search through the full
+// Submit/Wait path and checks the served body is the deterministic
+// Result envelope with the hardness table.
+func TestAdvSearchJobEndToEnd(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Workers: 1, JobBudget: 2 * time.Minute})
+	defer s.Close()
+
+	p := Params{N: 8, Restarts: 1, Steps: 2, Seed: 7, Proto: "cflood_known"}
+	view, outcome, err := s.Submit(KindAdvSearch, p)
+	if err != nil || outcome != SubmitNew {
+		t.Fatalf("Submit: view=%+v outcome=%v err=%v", view, outcome, err)
+	}
+	body, final, ok := s.Wait(view.Key)
+	if !ok || final.Status != StatusDone {
+		t.Fatalf("Wait: status=%s err=%q", final.Status, final.Err)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindAdvSearch || !strings.Contains(res.Table, "Adversary synthesis") {
+		t.Fatalf("unexpected result envelope: kind=%s table=%q", res.Kind, res.Table)
+	}
+	if res.Params.Proto != "cflood_known" || res.Params.Mode != "greedy" {
+		t.Fatalf("params not normalized in echo: %+v", res.Params)
+	}
+
+	// The same submission is one job: dup outcome, byte-identical body.
+	view2, outcome2, err := s.Submit(KindAdvSearch, p)
+	if err != nil || outcome2 != SubmitDup || view2.Key != view.Key {
+		t.Fatalf("resubmit: outcome=%v key=%s err=%v", outcome2, view2.Key, err)
+	}
+	body2, _, _ := s.Wait(view2.Key)
+	if string(body) != string(body2) {
+		t.Fatal("cached body differs from first execution")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"dyndiam/internal/advsearch"
 	"dyndiam/internal/faults"
 	"dyndiam/internal/harness"
 )
@@ -18,6 +19,20 @@ type Result struct {
 	Params Params      `json:"params"`
 	Table  string      `json:"table,omitempty"`
 	Data   interface{} `json:"data,omitempty"`
+}
+
+// advSearchConfig maps a normalized advsearch job onto the search
+// config. Kept next to the dispatch so the two stay one translation.
+func advSearchConfig(p Params) advsearch.Config {
+	return advsearch.Config{
+		Proto:    advsearch.Proto(p.Proto),
+		N:        p.N,
+		Horizon:  p.Horizon,
+		Mode:     advsearch.Mode(p.Mode),
+		Restarts: p.Restarts,
+		Steps:    p.Steps,
+		Seed:     p.Seed,
+	}
 }
 
 // normalizeSpecs expands a degradation job's (Dim, Rates) into the fault
@@ -84,6 +99,13 @@ func run(kind Kind, p Params) ([]byte, error) {
 		}
 		res.Table = harness.FormatReductionTable("E1 reduction", rows).String()
 		res.Data = rows
+	case KindAdvSearch:
+		rep, err := advsearch.Search(advSearchConfig(p), nil, advsearch.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Table = advsearch.FormatHardnessTable([]advsearch.HardnessRow{advsearch.RowFromReport(rep)}).String()
+		res.Data = rep
 	case KindFigure:
 		var fig string
 		var err error

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"dyndiam/internal/advsearch"
 	"dyndiam/internal/harness"
 )
 
@@ -28,6 +29,11 @@ const (
 	KindReduction Kind = "reduction"
 	// KindFigure renders one of the paper's construction figures (1-3).
 	KindFigure Kind = "figure"
+	// KindAdvSearch runs the adversary-synthesis search for one protocol
+	// and reports discovered-vs-constructed hardness. Long searches fit
+	// the serving model naturally: deterministic, content-addressed, and
+	// resumable through the job cache.
+	KindAdvSearch Kind = "advsearch"
 )
 
 // Kinds lists every served kind in a stable order.
@@ -39,6 +45,7 @@ func Kinds() []Kind {
 		KindGapTable,
 		KindReduction,
 		KindFigure,
+		KindAdvSearch,
 	}
 }
 
@@ -70,6 +77,15 @@ type Params struct {
 	Rates []float64 `json:"rates,omitempty"`
 	// Figure selects the construction figure (1, 2, or 3).
 	Figure int `json:"figure,omitempty"`
+	// Proto is the protocol objective of an adversary search.
+	Proto string `json:"proto,omitempty"`
+	// Mode is the adversary-search strategy (random, greedy, evolve).
+	Mode string `json:"mode,omitempty"`
+	// Horizon is the scripted schedule length of an adversary search.
+	Horizon int `json:"horizon,omitempty"`
+	// Restarts and Steps bound an adversary search's budget.
+	Restarts int `json:"restarts,omitempty"`
+	Steps    int `json:"steps,omitempty"`
 }
 
 // Service-protection bounds: the service computes everything it serves,
@@ -81,6 +97,11 @@ const (
 	maxSizes  = 16
 	maxQ      = 257
 	maxRates  = 32
+	// Adversary searches evaluate restarts*(steps+1) protocol runs, so
+	// their bounds are tighter than the single-run kinds'.
+	maxAdvN        = 32
+	maxAdvRestarts = 16
+	maxAdvSteps    = 64
 )
 
 // normalize applies kind defaults, validates the service bounds, and
@@ -134,6 +155,54 @@ func normalize(kind Kind, p Params) (Params, error) {
 		}
 		if n.Seed == 0 {
 			n.Seed = 1
+		}
+		return n, nil
+	case KindAdvSearch:
+		n := Params{
+			N: p.N, Seed: p.Seed, Proto: p.Proto, Mode: p.Mode,
+			Horizon: p.Horizon, Restarts: p.Restarts, Steps: p.Steps,
+		}
+		if n.N == 0 {
+			n.N = 10
+		}
+		if n.N < 4 || n.N > maxAdvN {
+			return n, fmt.Errorf("serve: adversary-search size %d out of range [4, %d]", n.N, maxAdvN)
+		}
+		if n.Seed == 0 {
+			n.Seed = 1
+		}
+		if n.Proto == "" {
+			n.Proto = string(advsearch.ProtoCFloodKnown)
+		}
+		if _, err := advsearch.ParseProto(n.Proto); err != nil {
+			return n, err
+		}
+		if n.Mode == "" {
+			n.Mode = string(advsearch.ModeGreedy)
+		}
+		if n.Horizon == 0 {
+			n.Horizon = 2 * n.N
+		}
+		if n.Horizon < 1 || n.Horizon > 4*n.N {
+			return n, fmt.Errorf("serve: adversary-search horizon %d out of range [1, %d]", n.Horizon, 4*n.N)
+		}
+		if n.Restarts == 0 {
+			n.Restarts = 2
+		}
+		if n.Restarts < 0 || n.Restarts > maxAdvRestarts {
+			return n, fmt.Errorf("serve: adversary-search restarts %d out of range [0, %d]", n.Restarts, maxAdvRestarts)
+		}
+		if n.Steps == 0 {
+			n.Steps = 8
+		}
+		if n.Steps < 1 || n.Steps > maxAdvSteps {
+			return n, fmt.Errorf("serve: adversary-search steps %d out of range [1, %d]", n.Steps, maxAdvSteps)
+		}
+		// The search config owns the rest of the validation (mode
+		// vocabulary, budget shape); normalize it once here so bad
+		// submissions fail at admission, not execution.
+		if _, err := advSearchConfig(n).Normalize(); err != nil {
+			return n, err
 		}
 		return n, nil
 	case KindFigure:

@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"dyndiam/internal/dynet"
+)
+
+// The replay-log edge cases: a node rejoining at the run's final round,
+// a node crashing twice inside one outage window, and REPLAY frames
+// arriving after the node has already caught up (coordinator
+// termination re-pokes). All table-driven, all run under -race in CI;
+// the replay path must be idempotent and must never touch the machine
+// for rounds it already completed.
+
+// stepRec is one recorded machine interaction.
+type stepRec struct {
+	kind  string // "step" or "deliver"
+	round int
+	msgs  int
+}
+
+// recMachine records every Step/Deliver so tests can assert exactly
+// which rounds the replay path applied.
+type recMachine struct {
+	calls []stepRec
+}
+
+func (m *recMachine) Step(r int) (dynet.Action, dynet.Message) {
+	m.calls = append(m.calls, stepRec{kind: "step", round: r})
+	return dynet.Receive, dynet.Message{}
+}
+
+func (m *recMachine) Deliver(r int, msgs []dynet.Message) {
+	m.calls = append(m.calls, stepRec{kind: "deliver", round: r, msgs: len(msgs)})
+}
+
+func (m *recMachine) Output() (int64, bool) { return 42, true }
+
+// replayLog builds a coordinator holding a finalized log for n nodes:
+// downRounds marks (round, node) pairs that were crashed, inboxes maps
+// round -> node -> messages delivered that round.
+func replayLog(rounds, n int, downRounds map[[2]int]bool, inboxes map[[2]int][]dynet.Message) *coordinator {
+	co := &coordinator{}
+	for q := 1; q <= rounds; q++ {
+		down := make([]bool, n)
+		ib := make([][]dynet.Message, n)
+		for v := 0; v < n; v++ {
+			down[v] = downRounds[[2]int{q, v}]
+			ib[v] = inboxes[[2]int{q, v}]
+		}
+		co.logDown = append(co.logDown, down)
+		co.logInbox = append(co.logInbox, ib)
+	}
+	return co
+}
+
+func msg(from int, payload ...byte) dynet.Message {
+	return dynet.Message{From: from, NBits: 8 * len(payload), Payload: payload}
+}
+
+// TestReplayCodecEdgeCases round-trips encodeReplay/parseReplay over the
+// awkward logs: single-final-round windows, repeated crashes of the same
+// node inside one window, and empty inboxes.
+func TestReplayCodecEdgeCases(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	cases := []struct {
+		name     string
+		rounds   int
+		down     map[[2]int]bool
+		inboxes  map[[2]int][]dynet.Message
+		id       int
+		from, to int
+		want     []replayRound
+	}{
+		{
+			name:   "rejoin at the final round",
+			rounds: 4,
+			inboxes: map[[2]int][]dynet.Message{
+				{4, 1}: {msg(0, 0xab), msg(2, 0xcd, 0xef)},
+			},
+			id: 1, from: 4, to: 4,
+			want: []replayRound{
+				{inbox: []dynet.Message{msg(0, 0xab), msg(2, 0xcd, 0xef)}},
+			},
+		},
+		{
+			name:   "two crashes of one node in one window",
+			rounds: 6,
+			down: map[[2]int]bool{
+				{2, 1}: true, {3, 1}: true, // first outage
+				{5, 1}: true, // second outage, same window
+			},
+			inboxes: map[[2]int][]dynet.Message{
+				{4, 1}: {msg(0, 0x01)},
+				{6, 1}: {msg(2, 0x02)},
+			},
+			id: 1, from: 2, to: 6,
+			want: []replayRound{
+				{down: true},
+				{down: true},
+				{inbox: []dynet.Message{msg(0, 0x01)}},
+				{down: true},
+				{inbox: []dynet.Message{msg(2, 0x02)}},
+			},
+		},
+		{
+			name:   "empty inboxes survive the round trip",
+			rounds: 2,
+			id:     0, from: 1, to: 2,
+			want: []replayRound{{}, {}},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			co := replayLog(tc.rounds, n, tc.down, tc.inboxes)
+			payload := co.encodeReplay(tc.id, tc.from, tc.to)
+			from, rounds, err := parseReplay(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if from != tc.from {
+				t.Fatalf("decoded first round %d, want %d", from, tc.from)
+			}
+			if len(rounds) != len(tc.want) {
+				t.Fatalf("decoded %d rounds, want %d", len(rounds), len(tc.want))
+			}
+			for i := range rounds {
+				if rounds[i].down != tc.want[i].down {
+					t.Errorf("round %d down=%v, want %v", tc.from+i, rounds[i].down, tc.want[i].down)
+				}
+				if len(rounds[i].inbox) != 0 || len(tc.want[i].inbox) != 0 {
+					if !reflect.DeepEqual(rounds[i].inbox, tc.want[i].inbox) {
+						t.Errorf("round %d inbox %+v, want %+v", tc.from+i, rounds[i].inbox, tc.want[i].inbox)
+					}
+				}
+			}
+		})
+	}
+}
+
+// readReady reads one frame from conn and sends it down ch.
+func readReady(t *testing.T, conn net.Conn, ch chan<- Frame) {
+	t.Helper()
+	f, err := ReadFrame(conn)
+	if err != nil {
+		close(ch)
+		return
+	}
+	ch <- f
+}
+
+// TestHandleReplayEdgeCases drives nodeState.handleReplay over a real
+// pipe: final-round rejoin applies exactly the missing round, repeated
+// crashes skip the machine for every down round, and a REPLAY arriving
+// after the node has finished (coordinator-termination re-poke) is a
+// pure READY resend with the machine untouched.
+func TestHandleReplayEdgeCases(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	cases := []struct {
+		name      string
+		nodeAt    int // lastStepped == lastDelivered before the replay
+		rounds    int
+		down      map[[2]int]bool
+		inboxes   map[[2]int][]dynet.Message
+		from, to  int
+		wantCalls []stepRec
+		wantRound int32 // READY round
+		wantStats int64 // ReplayedRounds delta
+	}{
+		{
+			name:   "rejoin at the final round",
+			nodeAt: 3, rounds: 4,
+			inboxes:   map[[2]int][]dynet.Message{{4, 1}: {msg(0, 0x11)}},
+			from:      4,
+			to:        4,
+			wantCalls: []stepRec{{kind: "step", round: 4}, {kind: "deliver", round: 4, msgs: 1}},
+			wantRound: 4,
+			wantStats: 1,
+		},
+		{
+			name:   "two crashes of one node in one outage window",
+			nodeAt: 1, rounds: 6,
+			down: map[[2]int]bool{{2, 1}: true, {3, 1}: true, {5, 1}: true},
+			inboxes: map[[2]int][]dynet.Message{
+				{4, 1}: {msg(0, 0x01)},
+				{6, 1}: {msg(2, 0x02), msg(0, 0x03)},
+			},
+			from: 2, to: 6,
+			wantCalls: []stepRec{
+				{kind: "step", round: 4}, {kind: "deliver", round: 4, msgs: 1},
+				{kind: "step", round: 6}, {kind: "deliver", round: 6, msgs: 2},
+			},
+			wantRound: 6,
+			wantStats: 2,
+		},
+		{
+			name:   "replay after termination is idempotent",
+			nodeAt: 4, rounds: 4,
+			inboxes:   map[[2]int][]dynet.Message{{4, 1}: {msg(0, 0x11)}},
+			from:      1,
+			to:        4,
+			wantCalls: nil, // every round is <= lastDelivered: machine untouched
+			wantRound: 4,
+			wantStats: 0,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			co := replayLog(tc.rounds, n, tc.down, tc.inboxes)
+			payload := co.encodeReplay(1, tc.from, tc.to)
+
+			mach := &recMachine{}
+			ns := &nodeState{
+				cfg:           NodeConfig{ID: 1},
+				m:             mach,
+				lastStepped:   tc.nodeAt,
+				lastDelivered: tc.nodeAt,
+			}
+			nodeConn, coordConn := net.Pipe()
+			defer nodeConn.Close()
+			defer coordConn.Close()
+			ready := make(chan Frame, 1)
+			go readReady(t, coordConn, ready)
+
+			if err := ns.handleReplay(nodeConn, Frame{Type: FrameReplay, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			f, ok := <-ready
+			if !ok {
+				t.Fatal("no READY frame after replay")
+			}
+			if f.Type != FrameReady || f.Round != tc.wantRound {
+				t.Fatalf("READY frame type=%v round=%d, want type=%v round=%d", f.Type, f.Round, FrameReady, tc.wantRound)
+			}
+			if !reflect.DeepEqual(mach.calls, tc.wantCalls) {
+				t.Fatalf("machine calls %+v, want %+v", mach.calls, tc.wantCalls)
+			}
+			if int(tc.wantRound) != ns.lastDelivered || ns.lastStepped != ns.lastDelivered {
+				t.Fatalf("node position stepped=%d delivered=%d, want both %d", ns.lastStepped, ns.lastDelivered, tc.wantRound)
+			}
+			if ns.stats.ReplayedRounds != tc.wantStats {
+				t.Fatalf("ReplayedRounds = %d, want %d", ns.stats.ReplayedRounds, tc.wantStats)
+			}
+
+			// A second, identical REPLAY must be a pure no-op resend.
+			go readReady(t, coordConn, ready)
+			if err := ns.handleReplay(nodeConn, Frame{Type: FrameReplay, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			if f2, ok := <-ready; !ok || f2.Round != tc.wantRound {
+				t.Fatalf("re-replay READY round=%d ok=%v, want %d", f2.Round, ok, tc.wantRound)
+			}
+			if !reflect.DeepEqual(mach.calls, tc.wantCalls) {
+				t.Fatalf("re-replay touched the machine: %+v", mach.calls)
+			}
+		})
+	}
+}
